@@ -1,0 +1,16 @@
+"""Figure 3: execution profile of the unoptimized application binary."""
+
+from conftest import save_table
+from repro.harness import figures
+
+
+def test_fig03_execution_profile(benchmark, exp, results_dir):
+    table = benchmark.pedantic(
+        lambda: figures.fig03_execution_profile(exp), rounds=1, iterations=1
+    )
+    save_table(table, "fig03_footprint", results_dir)
+    rows = dict((r[0], r[1]) for r in table.rows)
+    # Shape checks: large, flat-ish footprint.
+    assert max(rows) >= 100  # at least 100KB of touched code
+    if 50 in rows:
+        assert rows[50] < 99.0  # 50KB must not capture everything

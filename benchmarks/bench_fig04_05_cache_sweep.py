@@ -1,0 +1,39 @@
+"""Figures 4 and 5: the cache-size x line-size sweep, base vs optimized."""
+
+from conftest import save_table
+from repro.harness import figures
+
+_grids = {}
+
+
+def _grid(exp, combo):
+    if combo not in _grids:
+        _grids[combo] = figures.fig04_cache_sweep(exp, combo)
+    return _grids[combo]
+
+
+def test_fig04_baseline_sweep(benchmark, exp, results_dir):
+    grid = benchmark.pedantic(lambda: _grid(exp, "base"), rounds=1, iterations=1)
+    save_table(figures.fig04_table(grid, "base"), "fig04a_base_sweep", results_dir)
+    # Misses decrease with cache size at fixed line size.
+    for line in figures.SWEEP_LINES:
+        series = [grid[(s, line)] for s in figures.SWEEP_SIZES]
+        assert series == sorted(series, reverse=True)
+
+
+def test_fig04_optimized_sweep(benchmark, exp, results_dir):
+    grid = benchmark.pedantic(lambda: _grid(exp, "all"), rounds=1, iterations=1)
+    save_table(figures.fig04_table(grid, "all"), "fig04b_optimized_sweep", results_dir)
+
+
+def test_fig05_relative_misses(benchmark, exp, results_dir):
+    base = _grid(exp, "base")
+    opt = _grid(exp, "all")
+    table = benchmark.pedantic(
+        lambda: figures.fig05_relative(base, opt), rounds=1, iterations=1
+    )
+    save_table(table, "fig05_relative", results_dir)
+    # Headline: a 45%+ reduction at 64-128KB with 128B lines.
+    for size_kb in (64, 128):
+        ratio = opt[(size_kb * 1024, 128)] / base[(size_kb * 1024, 128)]
+        assert ratio < 0.55, f"only {1 - ratio:.0%} reduction at {size_kb}KB"

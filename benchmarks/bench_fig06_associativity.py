@@ -1,0 +1,20 @@
+"""Figure 6: associativity vs layout optimization."""
+
+from conftest import save_table
+from repro.harness import figures
+
+
+def test_fig06_associativity(benchmark, exp, results_dir):
+    table = benchmark.pedantic(
+        lambda: figures.fig06_associativity(exp), rounds=1, iterations=1
+    )
+    save_table(table, "fig06_associativity", results_dir)
+    for row in table.rows:
+        size_kb, base_dm, base_4w, opt_dm, opt_4w = row
+        # Associativity helps, but never as much as the layout change.
+        assert base_4w <= base_dm
+        assert opt_4w <= opt_dm
+        if size_kb in (64, 128):
+            assoc_gain = base_dm - base_4w
+            layout_gain = base_dm - opt_dm
+            assert layout_gain > assoc_gain

@@ -1,0 +1,17 @@
+"""Figure 8: sequentially executed instructions."""
+
+from conftest import save_table
+from repro.harness import figures
+
+
+def test_fig08_sequence_lengths(benchmark, exp, results_dir):
+    summary, histogram = benchmark.pedantic(
+        lambda: figures.fig08_sequences(exp), rounds=1, iterations=1
+    )
+    save_table(summary, "fig08a_sequences", results_dir)
+    save_table(histogram, "fig08b_histogram", results_dir)
+    values = {row[0]: row[1] for row in summary.rows}
+    # Paper: base ~7.3, optimized 10+; both above the mean block size.
+    assert 5.0 < values["base"] < 11.0
+    assert values["optimized"] > values["base"] * 1.25
+    assert values["base"] > values["basic block size"]

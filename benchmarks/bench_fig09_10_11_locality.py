@@ -1,0 +1,51 @@
+"""Figures 9-11: spatial/temporal locality of cache-line residencies."""
+
+from conftest import save_table
+from repro.harness import figures
+
+_detail = {}
+
+
+def _detailed(exp, combo):
+    if combo not in _detail:
+        _detail[combo] = figures.detailed_results(exp, combo)
+    return _detail[combo]
+
+
+def test_fig09_unique_word_usage(benchmark, exp, results_dir):
+    base = _detailed(exp, "base")
+    opt = benchmark.pedantic(lambda: _detailed(exp, "all"), rounds=1, iterations=1)
+    table = figures.fig09_word_usage(base, opt)
+    save_table(table, "fig09_word_usage", results_dir)
+    base_frac = base.locality.unique_words_fractions()
+    opt_frac = opt.locality.unique_words_fractions()
+    # Optimized binary fills the whole 32-word line far more often.
+    assert opt_frac[32] > base_frac[32] * 1.5
+    assert opt_frac[32] > 0.25
+
+
+def test_fig10_word_reuse(benchmark, exp, results_dir):
+    base = _detailed(exp, "base")
+    opt = _detailed(exp, "all")
+    table = benchmark.pedantic(
+        lambda: figures.fig10_word_reuse(base, opt), rounds=1, iterations=1
+    )
+    save_table(table, "fig10_word_reuse", results_dir)
+    # Paper: ~46% of fetched words never used in base; optimized much lower.
+    assert base.locality.unused_fraction > 0.30
+    assert opt.locality.unused_fraction < base.locality.unused_fraction * 0.75
+
+
+def test_fig11_line_lifetimes(benchmark, exp, results_dir):
+    base = _detailed(exp, "base")
+    opt = _detailed(exp, "all")
+    table = benchmark.pedantic(
+        lambda: figures.fig11_lifetimes(base, opt), rounds=1, iterations=1
+    )
+    save_table(table, "fig11_lifetimes", results_dir)
+    # Mean lifetime (in cache accesses) grows substantially.
+    def mean_lifetime(result):
+        fractions = result.locality.lifetime_fractions()
+        return sum((2.0 ** i) * f for i, f in enumerate(fractions))
+
+    assert mean_lifetime(opt) > 1.5 * mean_lifetime(base)

@@ -1,0 +1,30 @@
+"""Figure 12: combined application + operating-system streams."""
+
+from conftest import save_table
+from repro.harness import figures
+
+
+def test_fig12_combined_streams(benchmark, exp, results_dir):
+    base_table = benchmark.pedantic(
+        lambda: figures.fig12_combined(exp, "base"), rounds=1, iterations=1
+    )
+    opt_table = figures.fig12_combined(exp, "all")
+    save_table(base_table, "fig12a_combined_base", results_dir)
+    save_table(opt_table, "fig12b_combined_optimized", results_dir)
+
+    base = {r[0]: r for r in base_table.rows}
+    opt = {r[0]: r for r in opt_table.rows}
+    for size_kb in (64, 128):
+        _s, combined_b, app_b, kernel_b = base[size_kb]
+        _s, combined_o, app_o, kernel_o = opt[size_kb]
+        # Interference: combined > app-isolated + a bit.
+        assert combined_b > app_b
+        assert combined_o > app_o
+        # Kernel in isolation is the smallest component.
+        assert kernel_b < app_b
+        # Combined reduction is a bit smaller than isolated reduction
+        # (paper: 45-60% combined vs 55-65% isolated), and still large.
+        reduction = 1 - combined_o / combined_b
+        assert reduction > 0.35
+        isolated_reduction = 1 - app_o / app_b
+        assert reduction <= isolated_reduction + 0.05

@@ -1,0 +1,25 @@
+"""Figure 13: application/kernel interference attribution."""
+
+from conftest import save_table
+from repro.harness import figures
+
+
+def test_fig13_interference(benchmark, exp, results_dir):
+    base_table = benchmark.pedantic(
+        lambda: figures.fig13_interference(exp, "base"), rounds=1, iterations=1
+    )
+    opt_table = figures.fig13_interference(exp, "all")
+    save_table(base_table, "fig13a_interference_base", results_dir)
+    save_table(opt_table, "fig13b_interference_optimized", results_dir)
+
+    def rows_of(table):
+        return {r[0]: (r[1], r[2]) for r in table.rows}
+
+    for table in (base_table, opt_table):
+        rows = rows_of(table)
+        kernel_owned, app_owned = rows["application"]
+        # Application misses are dominated by self-interference.
+        assert app_owned > kernel_owned
+        k_kernel_owned, k_app_owned = rows["kernel"]
+        # Kernel misses mostly displace application lines.
+        assert k_app_owned >= k_kernel_owned

@@ -1,0 +1,20 @@
+"""Figure 14: iTLB and shared unified L2 behaviour."""
+
+from conftest import save_table
+from repro.harness import figures
+
+
+def test_fig14_itlb_and_l2(benchmark, exp, results_dir):
+    table = benchmark.pedantic(
+        lambda: figures.fig14_itlb_l2(exp), rounds=1, iterations=1
+    )
+    save_table(table, "fig14_itlb_l2", results_dir)
+    rows = {r[0]: r[1:] for r in table.rows}
+    base_itlb, base_l2i, base_l2d = rows["base"]
+    opt_itlb, opt_l2i, opt_l2d = rows["all"]
+    # Layout optimization reduces iTLB misses (paper: better page packing).
+    assert opt_itlb < base_itlb
+    # L2 instruction misses drop.
+    assert opt_l2i < base_l2i
+    # L2 data misses stay roughly constant (within 25%).
+    assert abs(opt_l2d - base_l2d) <= 0.25 * max(base_l2d, 1)

@@ -1,0 +1,26 @@
+"""Figure 15: end-to-end non-idle execution time, per platform.
+
+The paper's Figure 15 runs are single-processor; this benchmark uses
+the dedicated uniprocessor experiment.
+"""
+
+from conftest import save_table
+from repro.harness import figures
+
+
+def test_fig15_relative_execution_time(benchmark, uni_exp, results_dir):
+    table = benchmark.pedantic(
+        lambda: figures.fig15_exec_time(uni_exp), rounds=1, iterations=1
+    )
+    save_table(table, "fig15_exec_time", results_dir)
+    rows = {r[0]: r[1:] for r in table.rows}
+    for platform_index in range(2):
+        base = rows["base"][platform_index]
+        full = rows["all"][platform_index]
+        assert base == 100.0
+        # A material end-to-end win on both platforms (paper: ~75%).
+        assert full < 93.0
+        # Chaining delivers the bulk of it.
+        assert rows["chain"][platform_index] < 95.0
+        # porder alone is nearly useless.
+        assert rows["porder"][platform_index] > rows["chain"][platform_index]

@@ -1,0 +1,16 @@
+"""Text Section 4.1: code-packing metrics (footprint in cache lines)."""
+
+from conftest import save_table
+from repro.harness import figures
+
+
+def test_text_packing_footprint(benchmark, exp, results_dir):
+    table = benchmark.pedantic(
+        lambda: figures.text_packing(exp), rounds=1, iterations=1
+    )
+    save_table(table, "text_packing", results_dir)
+    rows = {r[0]: r for r in table.rows}
+    base_lines = rows["base"][1]
+    opt_lines = rows["optimized"][1]
+    # Paper: 37% smaller footprint in 128B lines; require a clear shrink.
+    assert opt_lines < base_lines * 0.92

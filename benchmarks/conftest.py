@@ -1,0 +1,45 @@
+"""Shared fixtures for the benchmark suite.
+
+The heavy pipeline products (generated binaries, profile run,
+measurement trace, layouts) are computed once per session by the
+``exp`` fixture and shared by every figure benchmark.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS.mkdir(exist_ok=True)
+    return RESULTS
+
+
+@pytest.fixture(scope="session")
+def exp():
+    from repro.harness import default_experiment
+
+    experiment = default_experiment()
+    _ = experiment.profile  # profiling run
+    _ = experiment.trace    # measurement run
+    return experiment
+
+
+@pytest.fixture(scope="session")
+def uni_exp():
+    from repro.harness import uniprocessor_experiment
+
+    experiment = uniprocessor_experiment()
+    _ = experiment.profile
+    _ = experiment.trace
+    return experiment
+
+
+def save_table(table, name, results_dir):
+    text = table.render()
+    (results_dir / f"{name}.txt").write_text(text)
+    print("\n" + text)
+    return text

@@ -1,0 +1,34 @@
+"""Metrics used by the paper's figures."""
+
+from repro.analysis.branches import BranchStats, branch_stats, merge_branch_stats
+
+from repro.analysis.footprint import (
+    capture_at,
+    dynamic_footprint_bytes,
+    execution_profile_curve,
+    footprint_in_lines,
+    union_footprint_in_lines,
+)
+from repro.analysis.interference import InterferenceBreakdown
+from repro.analysis.sequences import (
+    SequenceStats,
+    mean_basic_block_size,
+    merge_sequence_stats,
+    sequence_lengths,
+)
+
+__all__ = [
+    "BranchStats",
+    "branch_stats",
+    "merge_branch_stats",
+    "InterferenceBreakdown",
+    "SequenceStats",
+    "capture_at",
+    "dynamic_footprint_bytes",
+    "execution_profile_curve",
+    "footprint_in_lines",
+    "union_footprint_in_lines",
+    "mean_basic_block_size",
+    "merge_sequence_stats",
+    "sequence_lengths",
+]

@@ -1,0 +1,60 @@
+"""Branch-direction statistics per layout.
+
+Chaining "biases conditional branches to be not taken"; besides the
+fetch-sequentiality effect the paper measures, the taken-branch rate
+matters to front ends with static not-taken prediction or one-cycle
+taken-branch bubbles.  These helpers quantify it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ir import INSTRUCTION_BYTES
+
+
+@dataclass
+class BranchStats:
+    """Control-transfer statistics for one stream under one layout."""
+
+    transitions: int
+    breaks: int
+    instructions: int
+
+    @property
+    def break_fraction(self) -> float:
+        """Fraction of block transitions that break the fetch stream
+        (taken branches, calls, returns, non-adjacent jumps)."""
+        return self.breaks / self.transitions if self.transitions else 0.0
+
+    @property
+    def breaks_per_instruction(self) -> float:
+        return self.breaks / self.instructions if self.instructions else 0.0
+
+
+def branch_stats(starts: np.ndarray, counts: np.ndarray) -> BranchStats:
+    """Compute break statistics from fetch spans (one stream)."""
+    mask = counts > 0
+    starts = starts[mask]
+    counts = counts[mask].astype(np.int64)
+    if len(starts) < 2:
+        return BranchStats(0, 0, int(counts.sum()) if len(counts) else 0)
+    ends = starts + counts * INSTRUCTION_BYTES
+    breaks = int((starts[1:] != ends[:-1]).sum())
+    return BranchStats(
+        transitions=len(starts) - 1,
+        breaks=breaks,
+        instructions=int(counts.sum()),
+    )
+
+
+def merge_branch_stats(stats) -> BranchStats:
+    """Aggregate per-stream stats."""
+    stats = list(stats)
+    return BranchStats(
+        transitions=sum(s.transitions for s in stats),
+        breaks=sum(s.breaks for s in stats),
+        instructions=sum(s.instructions for s in stats),
+    )

@@ -1,0 +1,89 @@
+"""Sequential-run-length analysis (paper Figure 8).
+
+A *sequence* is a maximal run of consecutively executed instructions:
+it ends at every control break (taken branch, call, return, or any
+transition whose target is not the next sequential address under the
+layout being studied).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.ir import INSTRUCTION_BYTES
+
+
+@dataclass
+class SequenceStats:
+    """Distribution of sequential-run lengths for one stream."""
+
+    #: histogram[i] = number of sequences of exactly i instructions
+    #: (index 0 unused); the last bucket accumulates longer runs.
+    histogram: np.ndarray
+    total_sequences: int
+    total_instructions: int
+
+    @property
+    def mean_length(self) -> float:
+        if self.total_sequences == 0:
+            return 0.0
+        return self.total_instructions / self.total_sequences
+
+    def fractions(self) -> np.ndarray:
+        """Fraction of all sequences at each length (Fig 8b series)."""
+        return self.histogram / max(1, self.total_sequences)
+
+
+def sequence_lengths(
+    starts: np.ndarray,
+    counts: np.ndarray,
+    max_length: int = 33,
+) -> SequenceStats:
+    """Compute run lengths for one stream of fetch spans.
+
+    A span continues the current sequence when its start address equals
+    the previous span's end address.
+    """
+    mask = counts > 0
+    starts = starts[mask]
+    counts = counts[mask].astype(np.int64)
+    histogram = np.zeros(max_length + 1, dtype=np.int64)
+    if len(starts) == 0:
+        return SequenceStats(histogram, 0, 0)
+    ends = starts + counts * INSTRUCTION_BYTES
+    breaks = np.nonzero(starts[1:] != ends[:-1])[0]
+    # Sequence boundaries: [0 .. b0], (b0 .. b1], ... each inclusive of
+    # spans; length = sum of counts over the spans in the sequence.
+    cumulative = np.concatenate([[0], np.cumsum(counts)])
+    boundary = np.concatenate([[0], breaks + 1, [len(starts)]])
+    lengths = cumulative[boundary[1:]] - cumulative[boundary[:-1]]
+    capped = np.minimum(lengths, max_length)
+    histogram += np.bincount(capped, minlength=max_length + 1)
+    return SequenceStats(
+        histogram=histogram,
+        total_sequences=len(lengths),
+        total_instructions=int(counts.sum()),
+    )
+
+
+def merge_sequence_stats(stats: List[SequenceStats]) -> SequenceStats:
+    """Aggregate per-stream stats (per CPU / per process)."""
+    if not stats:
+        return SequenceStats(np.zeros(34, dtype=np.int64), 0, 0)
+    histogram = sum((s.histogram for s in stats[1:]), stats[0].histogram.copy())
+    return SequenceStats(
+        histogram=histogram,
+        total_sequences=sum(s.total_sequences for s in stats),
+        total_instructions=sum(s.total_instructions for s in stats),
+    )
+
+
+def mean_basic_block_size(blocks: np.ndarray, sizes: np.ndarray) -> float:
+    """Average dynamic basic-block size (Fig 8a's reference bar)."""
+    if len(blocks) == 0:
+        return 0.0
+    executed = sizes[blocks]
+    return float(executed.mean())

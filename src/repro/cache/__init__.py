@@ -1,0 +1,45 @@
+"""Memory-system simulators: I-cache, iTLB, L1D, shared unified L2."""
+
+from repro.cache.dcache import DCacheResult, simulate_dcache
+from repro.cache.icache import (
+    CacheGeometry,
+    ICacheResult,
+    ICacheSim,
+    collapse_consecutive,
+    expand_line_runs,
+    simulate_direct_mapped,
+    simulate_lru,
+    sweep_direct_mapped,
+)
+from repro.cache.l2 import L2Result, simulate_l1i_misses, simulate_l2
+from repro.cache.stats import APP, KERNEL, InterferenceMatrix, LocalityStats
+from repro.cache.streambuf import StreamBufferResult, simulate_stream_buffers
+from repro.cache.victim import VictimCacheResult, simulate_victim_cache
+from repro.cache.tlb import PAGE_BYTES, TlbResult, simulate_itlb
+
+__all__ = [
+    "APP",
+    "CacheGeometry",
+    "DCacheResult",
+    "ICacheResult",
+    "ICacheSim",
+    "InterferenceMatrix",
+    "KERNEL",
+    "L2Result",
+    "LocalityStats",
+    "PAGE_BYTES",
+    "TlbResult",
+    "collapse_consecutive",
+    "expand_line_runs",
+    "simulate_dcache",
+    "simulate_direct_mapped",
+    "simulate_itlb",
+    "simulate_l1i_misses",
+    "simulate_l2",
+    "simulate_lru",
+    "simulate_stream_buffers",
+    "StreamBufferResult",
+    "VictimCacheResult",
+    "simulate_victim_cache",
+    "sweep_direct_mapped",
+]

@@ -1,0 +1,172 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``info``     -- describe the generated binaries and configuration.
+* ``figure``   -- regenerate one or more paper figures as text tables.
+* ``sweep``    -- run the Figure 4/5 cache sweep.
+* ``ablation`` -- run the Figure 7 optimization ablation.
+
+Figures run on the quick experiment by default; pass ``--full`` for
+the paper-scale configuration used by the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+from repro.harness import default_experiment, figures, quick_experiment
+
+#: figure name -> callable(exp) returning one or more Tables.
+_FIGURES: Dict[str, Callable] = {
+    "fig03": lambda exp: [figures.fig03_execution_profile(exp)],
+    "fig05": lambda exp: [
+        figures.fig05_relative(
+            figures.fig04_cache_sweep(exp, "base"),
+            figures.fig04_cache_sweep(exp, "all"),
+        )
+    ],
+    "fig06": lambda exp: [figures.fig06_associativity(exp)],
+    "fig07": lambda exp: [figures.fig07_ablation(exp)],
+    "fig08": lambda exp: list(figures.fig08_sequences(exp)),
+    "fig12": lambda exp: [
+        figures.fig12_combined(exp, "base"),
+        figures.fig12_combined(exp, "all"),
+    ],
+    "fig13": lambda exp: [
+        figures.fig13_interference(exp, "base"),
+        figures.fig13_interference(exp, "all"),
+    ],
+    "fig14": lambda exp: [figures.fig14_itlb_l2(exp)],
+    "fig15": lambda exp: [figures.fig15_exec_time(exp)],
+    "packing": lambda exp: [figures.text_packing(exp)],
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Code Layout Optimizations for "
+        "Transaction Processing Workloads' (ISCA 2001)",
+    )
+    parser.add_argument(
+        "--full", action="store_true",
+        help="use the paper-scale experiment (slower; benchmark default)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="describe the generated system")
+
+    figure = sub.add_parser("figure", help="regenerate paper figures")
+    figure.add_argument(
+        "names", nargs="+", choices=sorted(_FIGURES) + ["all"],
+        help="figure ids (or 'all')",
+    )
+
+    sub.add_parser("sweep", help="Figure 4/5 cache sweep (base + optimized)")
+    sub.add_parser("ablation", help="Figure 7 optimization ablation")
+
+    summary = sub.add_parser(
+        "summary", help="concatenate saved benchmark result tables"
+    )
+    summary.add_argument(
+        "--results-dir", default="benchmarks/results",
+        help="directory holding the *.txt tables written by the benchmarks",
+    )
+    return parser
+
+
+def _experiment(args):
+    return default_experiment() if args.full else quick_experiment()
+
+
+def _cmd_info(args, out) -> int:
+    exp = _experiment(args)
+    app = exp.app.binary
+    kernel = exp.kernel.binary
+    config = exp.config
+    out.write(
+        f"application binary: {app.num_procedures} procedures, "
+        f"{app.num_blocks} blocks, {app.static_size * 4 // 1024} KB static\n"
+        f"kernel binary:      {kernel.num_procedures} procedures, "
+        f"{kernel.static_size * 4 // 1024} KB static\n"
+        f"TPC-B:              {config.tpcb.branches} branches, "
+        f"{config.tpcb.accounts:,} accounts\n"
+        f"system:             {config.system.cpus} CPUs x "
+        f"{config.system.processes_per_cpu} server processes\n"
+        f"transactions:       {config.profile_transactions} profiled, "
+        f"{config.measure_transactions} measured\n"
+    )
+    profile = exp.profile
+    out.write(
+        f"profiled:           {profile.total_instructions:,} instructions, "
+        f"dynamic footprint "
+        f"{_footprint_kb(profile)} KB\n"
+    )
+    return 0
+
+
+def _footprint_kb(profile) -> int:
+    from repro.analysis import dynamic_footprint_bytes
+
+    return dynamic_footprint_bytes(profile) // 1024
+
+
+def _cmd_figure(args, out) -> int:
+    exp = _experiment(args)
+    names: List[str] = (
+        sorted(_FIGURES) if "all" in args.names else list(dict.fromkeys(args.names))
+    )
+    for name in names:
+        for table in _FIGURES[name](exp):
+            out.write(table.render() + "\n")
+    return 0
+
+
+def _cmd_sweep(args, out) -> int:
+    exp = _experiment(args)
+    base = figures.fig04_cache_sweep(exp, "base")
+    opt = figures.fig04_cache_sweep(exp, "all")
+    out.write(figures.fig04_table(base, "base").render() + "\n")
+    out.write(figures.fig04_table(opt, "all").render() + "\n")
+    out.write(figures.fig05_relative(base, opt).render() + "\n")
+    return 0
+
+
+def _cmd_ablation(args, out) -> int:
+    exp = _experiment(args)
+    out.write(figures.fig07_ablation(exp).render() + "\n")
+    return 0
+
+
+def _cmd_summary(args, out) -> int:
+    import pathlib
+
+    results = pathlib.Path(args.results_dir)
+    files = sorted(results.glob("*.txt")) if results.is_dir() else []
+    if not files:
+        out.write(
+            f"no result tables in {results}/ -- run "
+            f"`pytest benchmarks/ --benchmark-only` first\n"
+        )
+        return 1
+    for path in files:
+        out.write(f"==== {path.name} {'=' * max(1, 60 - len(path.name))}\n")
+        out.write(path.read_text().rstrip() + "\n\n")
+    return 0
+
+
+def main(argv=None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out or sys.stdout
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "info": _cmd_info,
+        "figure": _cmd_figure,
+        "sweep": _cmd_sweep,
+        "ablation": _cmd_ablation,
+        "summary": _cmd_summary,
+    }
+    return handlers[args.command](args, out)

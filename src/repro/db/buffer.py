@@ -1,0 +1,115 @@
+"""Buffer pool: fixed frames over the page store, LRU replacement.
+
+Supports pin/unpin with dirty tracking and write-back on eviction.
+Access hooks (`on_access`) let the instrumentation layer observe
+hit/miss behaviour -- buffer misses are what turn into disk-read
+syscalls in the full-system model.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.errors import BufferPoolError
+from repro.db.pages import Page
+from repro.db.storage import PageStore
+
+
+@dataclass
+class _Frame:
+    page: Page
+    pins: int = 0
+    dirty: bool = False
+
+
+class BufferPool:
+    """LRU buffer pool of ``capacity`` page frames."""
+
+    def __init__(self, store: PageStore, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise BufferPoolError(f"capacity must be >= 1, got {capacity}")
+        self.store = store
+        self.capacity = capacity
+        #: Frames in LRU order (least recent first).
+        self._frames: "OrderedDict[int, _Frame]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        #: Hook fired on every fetch: f(page_id, hit).
+        self.on_access: Optional[Callable[[int, bool], None]] = None
+
+    # -- public API ---------------------------------------------------------
+
+    def fetch(self, page_id: int) -> Page:
+        """Pin a page, reading it from the store on a miss."""
+        frame = self._frames.get(page_id)
+        if frame is not None:
+            self.hits += 1
+            self._frames.move_to_end(page_id)
+            frame.pins += 1
+            if self.on_access is not None:
+                self.on_access(page_id, True)
+            return frame.page
+        self.misses += 1
+        if self.on_access is not None:
+            self.on_access(page_id, False)
+        page = self.store.read(page_id)
+        self._admit(page, pins=1)
+        return page
+
+    def new_page(self) -> Page:
+        """Allocate a fresh page, pinned and dirty."""
+        page = self.store.allocate()
+        self._admit(page, pins=1, dirty=True)
+        return page
+
+    def unpin(self, page_id: int, dirty: bool) -> None:
+        """Release one pin, optionally marking the page dirty."""
+        frame = self._frames.get(page_id)
+        if frame is None or frame.pins == 0:
+            raise BufferPoolError(f"unpin of page {page_id} that is not pinned")
+        frame.pins -= 1
+        frame.dirty = frame.dirty or dirty
+
+    def flush_all(self) -> int:
+        """Write every dirty frame back; returns pages written."""
+        written = 0
+        for frame in self._frames.values():
+            if frame.dirty:
+                self.store.write(frame.page)
+                frame.dirty = False
+                written += 1
+        return written
+
+    def contains(self, page_id: int) -> bool:
+        return page_id in self._frames
+
+    @property
+    def num_resident(self) -> int:
+        return len(self._frames)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    # -- internals -----------------------------------------------------------
+
+    def _admit(self, page: Page, pins: int, dirty: bool = False) -> None:
+        if len(self._frames) >= self.capacity:
+            self._evict_one()
+        self._frames[page.page_id] = _Frame(page=page, pins=pins, dirty=dirty)
+
+    def _evict_one(self) -> None:
+        for page_id, frame in self._frames.items():  # LRU order
+            if frame.pins == 0:
+                if frame.dirty:
+                    self.store.write(frame.page)
+                del self._frames[page_id]
+                self.evictions += 1
+                return
+        raise BufferPoolError(
+            f"buffer pool exhausted: all {self.capacity} frames are pinned"
+        )

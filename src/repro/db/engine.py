@@ -1,0 +1,377 @@
+"""The database engine facade: the "Oracle server process" of the model.
+
+Exposes key-based reads, updates and inserts under strict 2PL with WAL
+durability.  Every operation emits routine call events through the
+instrumentation trace (a no-op by default), which the execution model
+expands into instruction traces.
+
+Lock waits are surfaced as the :class:`LockWait` control-flow signal:
+operations acquire all their locks *first*, so a waiting operation has
+performed no other work and can simply be retried once the scheduler
+wakes the process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, List, Optional, Sequence
+
+from repro.errors import DatabaseError, DeadlockError, KeyNotFoundError
+from repro.db.btree import BTree
+from repro.db.buffer import BufferPool
+from repro.db.instrument import NullTrace, TracedBufferPool, traced_store
+from repro.db.lock import LockManager, LockMode
+from repro.db.rows import Column, RowCodec
+from repro.db.storage import HeapFile, PageStore, RID
+from repro.db.txn import Transaction, TransactionManager, UndoEntry
+from repro.db.wal import LogKind, LogManager
+
+
+class LockWait(Exception):
+    """Control-flow signal: the operation is parked on a lock queue.
+
+    Not an error -- the scheduler retries the operation after the
+    holding transaction releases its locks.
+    """
+
+    def __init__(self, resource: Hashable) -> None:
+        super().__init__(f"waiting for lock on {resource!r}")
+        self.resource = resource
+
+
+@dataclass
+class Table:
+    """A stored table: heap file, codec, optional unique index."""
+
+    name: str
+    codec: RowCodec
+    heap: HeapFile
+    key_column: str
+    index: Optional[BTree] = None
+
+
+class Engine:
+    """The mini-DBMS."""
+
+    def __init__(
+        self,
+        pool_capacity: int = 512,
+        btree_order: int = 128,
+        trace=None,
+    ) -> None:
+        self.trace = trace if trace is not None else NullTrace()
+        self.store = traced_store(PageStore(), self.trace)
+        self.pool = TracedBufferPool(self.store, pool_capacity, self.trace)
+        self.log = LogManager()
+        self.log.on_flush = self._on_log_flush
+        self.locks = LockManager()
+        self.txns = TransactionManager(self.log, self.locks)
+        self.tables: Dict[str, Table] = {}
+        self._btree_order = btree_order
+        self._stmt_cache: set = set()
+
+    # -- schema ------------------------------------------------------------
+
+    def create_table(
+        self, name: str, columns: Sequence[Column], key_column: str, indexed: bool = True
+    ) -> Table:
+        """Create a table (and a unique B+tree index on its key)."""
+        if name in self.tables:
+            raise DatabaseError(f"table {name!r} already exists")
+        codec = RowCodec(name, columns)
+        if indexed and key_column not in codec.int_columns:
+            raise DatabaseError(f"table {name!r}: key column {key_column!r} not an int")
+        table = Table(
+            name=name,
+            codec=codec,
+            heap=HeapFile(name, self.pool),
+            key_column=key_column,
+            index=BTree(f"{name}_pk", self.pool, self._btree_order) if indexed else None,
+        )
+        self.tables[name] = table
+        return table
+
+    def _table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise DatabaseError(f"no such table: {name!r}") from None
+
+    # -- bulk load (no txn, no locks, no logging) ---------------------------
+
+    def load_row(self, table_name: str, row: Dict[str, int]) -> RID:
+        """Bulk-load one row (schema setup / database population)."""
+        table = self._table(table_name)
+        rid = table.heap.insert(table.codec.encode(row))
+        if table.index is not None:
+            table.index.insert(row[table.key_column], rid)
+        return rid
+
+    def checkpoint(self) -> int:
+        """Flush dirty pages and the log; returns pages written."""
+        written = self.pool.flush_all()
+        self.log.flush()
+        return written
+
+    # -- transactions --------------------------------------------------------
+
+    def begin(self) -> Transaction:
+        with self.trace.op("txn_begin"):
+            return self.txns.begin()
+
+    def commit(self, txn: Transaction) -> List[int]:
+        """Commit; returns txn ids woken by the lock release."""
+        nlocks = len(self.locks.held_resources(txn.txn_id))
+        with self.trace.op("txn_commit", nlocks=nlocks) as ev:
+            flushes_before = self.log.flushes
+            woken = self.txns.commit(txn)
+            ev.bind(flushed=self.log.flushes > flushes_before)
+            return woken
+
+    def abort(self, txn: Transaction) -> List[int]:
+        with self.trace.op("txn_abort", nundo=len(txn.undo)):
+            return self.txns.abort(txn, self._apply_undo)
+
+    def _apply_undo(self, entry: UndoEntry) -> None:
+        table = self._table(entry.table)
+        if entry.kind is LogKind.UPDATE:
+            table.heap.update(entry.rid, entry.before)
+        elif entry.kind is LogKind.INSERT:
+            table.heap.delete(entry.rid)
+            if table.index is not None:
+                row = table.codec.decode(entry.before)
+                try:
+                    table.index.delete(row[table.key_column])
+                except KeyNotFoundError:
+                    pass  # the failing index insert never landed
+        else:
+            raise DatabaseError(f"cannot undo log kind {entry.kind}")
+
+    # -- reads -----------------------------------------------------------------
+
+    def get_row(
+        self,
+        txn: Transaction,
+        table_name: str,
+        key: int,
+        for_update: bool = False,
+    ) -> Dict[str, int]:
+        """Point select by key, locking the row (S, or X for update)."""
+        txn.require_active()
+        table = self._table(table_name)
+        with self.trace.op("sql_select", table=table_name, waited=False, ok=False) as ev:
+            self._stmt_lookup("select", table_name)
+            mode = LockMode.EXCLUSIVE if for_update else LockMode.SHARED
+            try:
+                self._lock(txn, table_name, key, mode)
+            except LockWait:
+                ev.bind(waited=True)
+                raise
+            rid = self._index_lookup(table, key)
+            row = self._row_fetch(table, rid)
+            ev.bind(ok=True)
+            return row
+
+    def scan_rows(
+        self,
+        txn: Transaction,
+        table_name: str,
+        where: Optional[Callable[[Dict[str, int]], bool]] = None,
+    ) -> List[Dict[str, int]]:
+        """Full table scan (read-only; no row locks -- scans run at
+        read-committed isolation like a DSS query).
+
+        Returns the matching rows; the traced ``sql_scan`` event binds
+        the page and row counts the scan touched.
+        """
+        txn.require_active()
+        table = self._table(table_name)
+        with self.trace.op("sql_scan", table=table_name, pages=0, rows=0) as ev:
+            self._stmt_lookup("scan", table_name)
+            rows = []
+            scanned = 0
+            for _rid, data in table.heap.scan():
+                scanned += 1
+                row = table.codec.decode(data)
+                if where is None or where(row):
+                    rows.append(row)
+            ev.bind(pages=len(table.heap.page_ids), rows=scanned)
+        return rows
+
+    def range_rows(
+        self, txn: Transaction, table_name: str, lo: int, hi: int
+    ) -> List[Dict[str, int]]:
+        """Index range scan: rows with lo <= key <= hi, in key order.
+
+        Read-only (no row locks), like :meth:`scan_rows`.
+        """
+        txn.require_active()
+        table = self._table(table_name)
+        if table.index is None:
+            raise DatabaseError(f"table {table_name!r} has no index")
+        with self.trace.op("index_scan", table=table_name, rows=0) as ev:
+            self._stmt_lookup("range", table_name)
+            pairs = table.index.range_search(lo, hi)
+            rows = [table.codec.decode(table.heap.read(rid)) for _k, rid in pairs]
+            ev.bind(rows=len(rows))
+        return rows
+
+    # -- updates ------------------------------------------------------------------
+
+    def update_row(
+        self,
+        txn: Transaction,
+        table_name: str,
+        key: int,
+        deltas: Optional[Dict[str, int]] = None,
+        values: Optional[Dict[str, int]] = None,
+    ) -> Dict[str, int]:
+        """Update a row by key: apply ``deltas`` (+=) and ``values`` (=).
+
+        Returns the new row image.  May raise :class:`LockWait`.
+        """
+        txn.require_active()
+        table = self._table(table_name)
+        with self.trace.op("sql_update", table=table_name, waited=False, ok=False) as ev:
+            self._stmt_lookup("update", table_name)
+            try:
+                self._lock(txn, table_name, key, LockMode.EXCLUSIVE)
+            except LockWait:
+                ev.bind(waited=True)
+                raise
+            rid = self._index_lookup(table, key)
+            row = self._row_fetch(table, rid)
+            before = table.codec.encode(row)
+            for column, delta in (deltas or {}).items():
+                row[column] = row.get(column, 0) + delta
+            for column, value in (values or {}).items():
+                row[column] = value
+            after = table.codec.encode(row)
+            self._row_update(txn, table, rid, before, after)
+            ev.bind(ok=True)
+        return row
+
+    def insert_row(self, txn: Transaction, table_name: str, row: Dict[str, int]) -> RID:
+        """Insert a row (appends to the heap; updates the index if any)."""
+        txn.require_active()
+        table = self._table(table_name)
+        with self.trace.op("sql_insert", table=table_name, ok=False) as outer:
+            self._stmt_lookup("insert", table_name)
+            data = table.codec.encode(row)
+            with self.trace.op("heap_insert", table=table_name):
+                rid = table.heap.insert(data)
+            # Undo entry registered before the index insert so a
+            # duplicate-key failure leaves no orphan heap record after
+            # the caller aborts.
+            txn.undo.append(
+                UndoEntry(table=table.name, rid=rid, kind=LogKind.INSERT, before=data)
+            )
+            if table.index is not None:
+                with self.trace.op("index_insert", table=table_name, depth=table.index.height):
+                    table.index.insert(row[table.key_column], rid)
+            lsn = self._wal_append(
+                txn, LogKind.INSERT, table.name, rid, before=b"", after=data
+            )
+            self._stamp(rid, lsn)
+            outer.bind(ok=True)
+        return rid
+
+    # -- internals -------------------------------------------------------------------
+
+    def _stmt_lookup(self, op: str, table_name: str) -> None:
+        """Statement-cache probe; a miss runs the (expensive) parser."""
+        key = (op, table_name)
+        hit = key in self._stmt_cache
+        with self.trace.op("stmt_lookup", hit=hit):
+            if not hit:
+                self._stmt_cache.add(key)
+                self.trace.leaf("sql_parse", tokens=8 + 2 * len(table_name) // 3)
+        with self.trace.op("plan_bind", table=table_name):
+            pass
+
+    def _lock(self, txn: Transaction, table_name: str, key: int, mode: LockMode) -> None:
+        resource = (table_name, key)
+        with self.trace.op("lock_acquire", mode=mode.value) as ev:
+            try:
+                granted = self.locks.try_acquire(txn.txn_id, resource, mode)
+            except DeadlockError:
+                ev.bind(waited=False, deadlock=True)
+                raise
+            ev.bind(waited=not granted, deadlock=False)
+            if not granted:
+                self.trace.leaf("k.yield")
+                raise LockWait(resource)
+
+    def _index_lookup(self, table: Table, key: int) -> RID:
+        if table.index is None:
+            raise DatabaseError(f"table {table.name!r} has no index")
+        with self.trace.op("btree_lookup", table=table.name, depth=table.index.height) as ev:
+            try:
+                rid = table.index.lookup(key)
+            except KeyNotFoundError:
+                ev.bind(found=False)
+                raise
+            ev.bind(found=True)
+            return rid
+
+    def _row_fetch(self, table: Table, rid: RID) -> Dict[str, int]:
+        with self.trace.op("row_fetch", table=table.name):
+            return table.codec.decode(table.heap.read(rid))
+
+    def _row_update(
+        self, txn: Transaction, table: Table, rid: RID, before: bytes, after: bytes
+    ) -> None:
+        with self.trace.op("row_update", table=table.name):
+            table.heap.update(rid, after)
+            lsn = self._wal_append(txn, LogKind.UPDATE, table.name, rid, before, after)
+            self._stamp(rid, lsn)
+            txn.undo.append(
+                UndoEntry(table=table.name, rid=rid, kind=LogKind.UPDATE, before=before)
+            )
+
+    def _stamp(self, rid: RID, lsn: int) -> None:
+        """Stamp the page holding ``rid`` with a log record's LSN."""
+        page = self.pool.fetch(rid[0])
+        try:
+            page.set_lsn(lsn)
+        finally:
+            self.pool.unpin(rid[0], dirty=True)
+
+    def _wal_append(
+        self,
+        txn: Transaction,
+        kind: LogKind,
+        table_name: str,
+        rid: RID,
+        before: bytes,
+        after: bytes,
+    ) -> int:
+        lsn = self.log.append(
+            txn.txn_id, kind, table=table_name, rid=rid, before=before, after=after
+        )
+        words = (32 + len(before) + len(after)) // 64 + 1
+        with self.trace.op("wal_append", chunks=words):
+            pass
+        txn.last_lsn = lsn
+        return lsn
+
+    def _on_log_flush(self, nbytes: int) -> None:
+        with self.trace.op("wal_flush", chunks=nbytes // 256 + 1):
+            self.trace.leaf("k.write", pages=1)
+
+    # -- convenience for standalone use -----------------------------------------------
+
+    def run_transaction(self, work: Callable[[Transaction], None]) -> Transaction:
+        """Run ``work`` in a fresh transaction, committing on success.
+
+        Retries are NOT handled here: in single-threaded standalone use
+        there is nobody to conflict with, so LockWait is a logic error.
+        """
+        txn = self.begin()
+        try:
+            work(txn)
+        except Exception:
+            self.abort(txn)
+            raise
+        self.commit(txn)
+        return txn

@@ -1,0 +1,169 @@
+"""Two-phase-locking lock manager with deadlock detection.
+
+Row-level shared/exclusive locks with FIFO wait queues.  Requests
+never block the caller (our execution model is event-driven): a request
+either is granted immediately or parks the transaction on the queue and
+reports WAIT; the process scheduler retries when locks are released.
+
+Deadlocks are detected eagerly on each blocked request by a wait-for
+graph cycle search; the requester is the victim.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.errors import DeadlockError
+
+
+class LockMode(enum.Enum):
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+def _compatible(held: LockMode, wanted: LockMode) -> bool:
+    return held is LockMode.SHARED and wanted is LockMode.SHARED
+
+
+@dataclass
+class _LockState:
+    holders: Dict[int, LockMode] = field(default_factory=dict)
+    queue: List[Tuple[int, LockMode]] = field(default_factory=list)
+
+
+class LockManager:
+    """Lock table keyed by arbitrary hashable resources."""
+
+    def __init__(self) -> None:
+        self._table: Dict[Hashable, _LockState] = defaultdict(_LockState)
+        self._held_by_txn: Dict[int, Set[Hashable]] = defaultdict(set)
+        self.grants = 0
+        self.waits = 0
+        self.deadlocks = 0
+
+    # -- acquisition -----------------------------------------------------------
+
+    def try_acquire(self, txn_id: int, resource: Hashable, mode: LockMode) -> bool:
+        """Attempt to lock; True if granted, False if queued (WAIT).
+
+        Raises DeadlockError (and does not queue) when waiting would
+        close a cycle in the wait-for graph.
+        """
+        state = self._table[resource]
+        held = state.holders.get(txn_id)
+        if held is not None:
+            if held is mode or held is LockMode.EXCLUSIVE:
+                return True  # re-entrant / already stronger
+            # Upgrade S -> X: allowed immediately iff sole holder and
+            # nobody queued ahead.
+            if len(state.holders) == 1 and not state.queue:
+                state.holders[txn_id] = LockMode.EXCLUSIVE
+                self.grants += 1
+                return True
+            self._check_deadlock(txn_id, resource)
+            state.queue.append((txn_id, mode))
+            self.waits += 1
+            return False
+        if not state.queue and all(
+            _compatible(m, mode) for m in state.holders.values()
+        ):
+            state.holders[txn_id] = mode
+            self._held_by_txn[txn_id].add(resource)
+            self.grants += 1
+            return True
+        if any(t == txn_id for t, _ in state.queue):
+            return False  # already parked; keep waiting
+        self._check_deadlock(txn_id, resource)
+        state.queue.append((txn_id, mode))
+        self.waits += 1
+        return False
+
+    def holds(self, txn_id: int, resource: Hashable) -> Optional[LockMode]:
+        return self._table[resource].holders.get(txn_id)
+
+    # -- release ---------------------------------------------------------------
+
+    def release_all(self, txn_id: int) -> List[int]:
+        """Drop every lock of a transaction; returns txn ids newly granted."""
+        woken: List[int] = []
+        for resource in list(self._held_by_txn.get(txn_id, ())):
+            state = self._table[resource]
+            state.holders.pop(txn_id, None)
+            woken.extend(self._grant_from_queue(resource, state))
+        self._held_by_txn.pop(txn_id, None)
+        # Also cancel any waits this txn still had queued.
+        for state in self._table.values():
+            state.queue = [(t, m) for t, m in state.queue if t != txn_id]
+        return woken
+
+    def cancel_waits(self, txn_id: int) -> None:
+        """Remove a transaction from all wait queues (on abort)."""
+        for resource, state in self._table.items():
+            before = len(state.queue)
+            state.queue = [(t, m) for t, m in state.queue if t != txn_id]
+            if len(state.queue) != before:
+                self._grant_from_queue(resource, state)
+
+    def _grant_from_queue(self, resource: Hashable, state: _LockState) -> List[int]:
+        woken = []
+        while state.queue:
+            txn_id, mode = state.queue[0]
+            if state.holders and not all(
+                _compatible(m, mode) for m in state.holders.values()
+            ):
+                break
+            state.queue.pop(0)
+            state.holders[txn_id] = mode
+            self._held_by_txn[txn_id].add(resource)
+            self.grants += 1
+            woken.append(txn_id)
+            if mode is LockMode.EXCLUSIVE:
+                break
+        return woken
+
+    # -- deadlock detection -------------------------------------------------------
+
+    def _waits_for(self, txn_id: int, resource: Hashable) -> Set[int]:
+        state = self._table[resource]
+        blockers = {t for t in state.holders if t != txn_id}
+        # FIFO queues: we also wait for everyone queued ahead of us.
+        for queued, _mode in state.queue:
+            if queued == txn_id:
+                break
+            blockers.add(queued)
+        return blockers
+
+    def _wait_target(self, txn_id: int) -> Optional[Hashable]:
+        for resource, state in self._table.items():
+            if any(t == txn_id for t, _ in state.queue):
+                return resource
+        return None
+
+    def _check_deadlock(self, txn_id: int, resource: Hashable) -> None:
+        """Raise DeadlockError if txn_id waiting on resource closes a cycle."""
+        frontier = self._waits_for(txn_id, resource)
+        visited: Set[int] = set()
+        while frontier:
+            blocker = frontier.pop()
+            if blocker == txn_id:
+                self.deadlocks += 1
+                raise DeadlockError(
+                    f"txn {txn_id} waiting on {resource!r} would deadlock"
+                )
+            if blocker in visited:
+                continue
+            visited.add(blocker)
+            target = self._wait_target(blocker)
+            if target is not None:
+                frontier |= self._waits_for(blocker, target)
+
+    # -- introspection ---------------------------------------------------------------
+
+    def held_resources(self, txn_id: int) -> Set[Hashable]:
+        return set(self._held_by_txn.get(txn_id, ()))
+
+    def queue_length(self, resource: Hashable) -> int:
+        return len(self._table[resource].queue)

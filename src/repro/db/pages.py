@@ -1,0 +1,172 @@
+"""Slotted pages: the on-"disk" unit of the mini DBMS.
+
+A page is a fixed-size byte buffer with a header, a slot directory
+growing from the front, and record cells growing from the back --
+the classic heap-page organization.
+
+Header layout (16 bytes):
+    0:4   page id (uint32)
+    4:12  page LSN (uint64) -- last log record that touched the page
+    12:14 slot count (uint16)
+    14:16 cell area start offset (uint16), grows downward
+Each slot is 4 bytes: offset (uint16), length (uint16).  A deleted
+record keeps its slot with offset 0 (tombstone) so RIDs stay stable.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import List, Optional
+
+from repro.errors import PageError
+
+PAGE_SIZE = 8192
+_HEADER = struct.Struct("<IQHH")
+HEADER_SIZE = _HEADER.size
+_SLOT = struct.Struct("<HH")
+SLOT_SIZE = _SLOT.size
+#: A tombstone slot: offset 0 can never hold a record (header lives there).
+_TOMBSTONE = 0
+
+
+class Page:
+    """One slotted page."""
+
+    def __init__(self, page_id: int, buf: Optional[bytearray] = None) -> None:
+        if buf is None:
+            self.buf = bytearray(PAGE_SIZE)
+            self.page_id = page_id
+            self.lsn = 0
+            self._nslots = 0
+            self._cell_start = PAGE_SIZE
+            self._write_header()
+        else:
+            if len(buf) != PAGE_SIZE:
+                raise PageError(
+                    f"page {page_id}: buffer is {len(buf)} bytes, want {PAGE_SIZE}"
+                )
+            self.buf = bytearray(buf)
+            pid, lsn, nslots, cell_start = _HEADER.unpack_from(self.buf, 0)
+            if pid != page_id:
+                raise PageError(f"buffer holds page {pid}, expected {page_id}")
+            self.page_id = pid
+            self.lsn = lsn
+            self._nslots = nslots
+            self._cell_start = cell_start
+
+    # -- header ------------------------------------------------------------
+
+    def _write_header(self) -> None:
+        _HEADER.pack_into(
+            self.buf, 0, self.page_id, self.lsn, self._nslots, self._cell_start
+        )
+
+    def set_lsn(self, lsn: int) -> None:
+        """Stamp the page with the LSN of the log record covering it."""
+        self.lsn = lsn
+        self._write_header()
+
+    # -- slot directory ----------------------------------------------------
+
+    @property
+    def nslots(self) -> int:
+        return self._nslots
+
+    def _slot(self, index: int) -> tuple:
+        if not 0 <= index < self._nslots:
+            raise PageError(f"page {self.page_id}: no slot {index}")
+        return _SLOT.unpack_from(self.buf, HEADER_SIZE + index * SLOT_SIZE)
+
+    def _set_slot(self, index: int, offset: int, length: int) -> None:
+        _SLOT.pack_into(self.buf, HEADER_SIZE + index * SLOT_SIZE, offset, length)
+
+    @property
+    def free_space(self) -> int:
+        """Bytes available for a new record (including its slot)."""
+        slot_end = HEADER_SIZE + self._nslots * SLOT_SIZE
+        return self._cell_start - slot_end
+
+    def fits(self, record_len: int) -> bool:
+        return self.free_space >= record_len + SLOT_SIZE
+
+    # -- records -----------------------------------------------------------
+
+    def insert(self, record: bytes) -> int:
+        """Insert a record, returning its slot index."""
+        if not record:
+            raise PageError(f"page {self.page_id}: empty records not allowed")
+        if not self.fits(len(record)):
+            raise PageError(
+                f"page {self.page_id}: record of {len(record)} bytes does not fit "
+                f"({self.free_space} free)"
+            )
+        self._cell_start -= len(record)
+        self.buf[self._cell_start : self._cell_start + len(record)] = record
+        index = self._nslots
+        self._nslots += 1
+        self._set_slot(index, self._cell_start, len(record))
+        self._write_header()
+        return index
+
+    def read(self, slot: int) -> bytes:
+        """Read the record in a slot."""
+        offset, length = self._slot(slot)
+        if offset == _TOMBSTONE:
+            raise PageError(f"page {self.page_id}: slot {slot} is deleted")
+        return bytes(self.buf[offset : offset + length])
+
+    def update(self, slot: int, record: bytes) -> None:
+        """Replace a record in place.
+
+        Same-size updates overwrite the cell; smaller ones shrink it in
+        place; larger ones relocate the cell to fresh space (the old
+        cell becomes dead space until the page is rebuilt).
+        """
+        offset, length = self._slot(slot)
+        if offset == _TOMBSTONE:
+            raise PageError(f"page {self.page_id}: slot {slot} is deleted")
+        if len(record) <= length:
+            self.buf[offset : offset + len(record)] = record
+            self._set_slot(slot, offset, len(record))
+        else:
+            if self.free_space < len(record):
+                raise PageError(
+                    f"page {self.page_id}: cannot grow slot {slot} to "
+                    f"{len(record)} bytes"
+                )
+            self._cell_start -= len(record)
+            self.buf[self._cell_start : self._cell_start + len(record)] = record
+            self._set_slot(slot, self._cell_start, len(record))
+            self._write_header()
+
+    def delete(self, slot: int) -> None:
+        """Tombstone a slot (RIDs of other records stay valid)."""
+        offset, _length = self._slot(slot)
+        if offset == _TOMBSTONE:
+            raise PageError(f"page {self.page_id}: slot {slot} already deleted")
+        self._set_slot(slot, _TOMBSTONE, 0)
+
+    def is_deleted(self, slot: int) -> bool:
+        offset, _ = self._slot(slot)
+        return offset == _TOMBSTONE
+
+    def records(self) -> List[bytes]:
+        """All live records, in slot order."""
+        out = []
+        for i in range(self._nslots):
+            offset, length = self._slot(i)
+            if offset != _TOMBSTONE:
+                out.append(bytes(self.buf[offset : offset + length]))
+        return out
+
+    # -- persistence -------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        self._write_header()
+        return bytes(self.buf)
+
+    def checksum(self) -> int:
+        """CRC over the page image (header included)."""
+        self._write_header()
+        return zlib.crc32(self.buf)

@@ -1,0 +1,73 @@
+"""Fixed-schema row codecs (struct-based serialization)."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.errors import DatabaseError
+
+
+@dataclass(frozen=True)
+class Column:
+    """A column: 64-bit int or fixed-width padding bytes."""
+
+    name: str
+    kind: str  # "int" | "pad"
+    width: int = 8  # bytes; ints are always 8
+
+
+class RowCodec:
+    """Serialize/deserialize dict rows against a fixed schema."""
+
+    def __init__(self, table: str, columns: Sequence[Column]) -> None:
+        self.table = table
+        self.columns = list(columns)
+        fmt = "<"
+        for col in self.columns:
+            if col.kind == "int":
+                fmt += "q"
+            elif col.kind == "pad":
+                fmt += f"{col.width}s"
+            else:
+                raise DatabaseError(f"{table}: unknown column kind {col.kind!r}")
+        self._struct = struct.Struct(fmt)
+        self.int_columns = [c.name for c in self.columns if c.kind == "int"]
+
+    @property
+    def row_size(self) -> int:
+        return self._struct.size
+
+    def encode(self, row: Dict[str, int]) -> bytes:
+        values = []
+        for col in self.columns:
+            if col.kind == "int":
+                try:
+                    values.append(row[col.name])
+                except KeyError:
+                    raise DatabaseError(
+                        f"{self.table}: row missing column {col.name!r}"
+                    ) from None
+            else:
+                values.append(b"\x00" * col.width)
+        return self._struct.pack(*values)
+
+    def decode(self, data: bytes) -> Dict[str, int]:
+        try:
+            values = self._struct.unpack(data)
+        except struct.error as exc:
+            raise DatabaseError(f"{self.table}: cannot decode row: {exc}") from None
+        row = {}
+        for col, value in zip(self.columns, values):
+            if col.kind == "int":
+                row[col.name] = value
+        return row
+
+
+def int_col(name: str) -> Column:
+    return Column(name=name, kind="int")
+
+
+def pad_col(name: str, width: int) -> Column:
+    return Column(name=name, kind="pad", width=width)

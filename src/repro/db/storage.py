@@ -1,0 +1,136 @@
+"""The "disk": a page store, plus heap files built on it.
+
+The :class:`PageStore` keeps serialized page images and exposes
+read/write with I/O notification hooks -- the hooks are how disk
+traffic turns into kernel activity in the full-system model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import PageError
+from repro.db.pages import PAGE_SIZE, Page
+
+#: Record id: (page_id, slot).
+RID = Tuple[int, int]
+
+
+class PageStore:
+    """Backing store of page images, addressed by page id."""
+
+    def __init__(self) -> None:
+        self._images: Dict[int, bytes] = {}
+        self._next_page_id = 1  # page id 0 reserved as "invalid"
+        self.reads = 0
+        self.writes = 0
+        #: Optional hooks fired on physical I/O: f(page_id).
+        self.on_read: Optional[Callable[[int], None]] = None
+        self.on_write: Optional[Callable[[int], None]] = None
+
+    def allocate(self) -> Page:
+        """Allocate a fresh page (already persisted, empty)."""
+        page = Page(self._next_page_id)
+        self._next_page_id += 1
+        self._images[page.page_id] = page.to_bytes()
+        return page
+
+    def read(self, page_id: int) -> Page:
+        """Read a page image from the store."""
+        try:
+            image = self._images[page_id]
+        except KeyError:
+            raise PageError(f"no such page: {page_id}") from None
+        self.reads += 1
+        if self.on_read is not None:
+            self.on_read(page_id)
+        return Page(page_id, bytearray(image))
+
+    def write(self, page: Page) -> None:
+        """Write a page image back to the store."""
+        if page.page_id not in self._images:
+            raise PageError(f"writing unallocated page {page.page_id}")
+        self._images[page.page_id] = page.to_bytes()
+        self.writes += 1
+        if self.on_write is not None:
+            self.on_write(page.page_id)
+
+    @property
+    def num_pages(self) -> int:
+        return len(self._images)
+
+    @property
+    def size_bytes(self) -> int:
+        return self.num_pages * PAGE_SIZE
+
+
+class HeapFile:
+    """An unordered collection of records over buffered pages.
+
+    All page access goes through a buffer pool (duck-typed: needs
+    ``fetch(page_id)``, ``unpin(page_id, dirty)``, ``new_page()``).
+    """
+
+    def __init__(self, name: str, pool) -> None:
+        self.name = name
+        self.pool = pool
+        self.page_ids: List[int] = []
+        #: Last page we inserted into -- the common fast path for
+        #: append-mostly tables like TPC-B's history.
+        self._insert_hint: Optional[int] = None
+
+    def insert(self, record: bytes) -> RID:
+        """Insert a record, returning its RID."""
+        if self._insert_hint is not None:
+            page = self.pool.fetch(self._insert_hint)
+            if page.fits(len(record)):
+                slot = page.insert(record)
+                self.pool.unpin(page.page_id, dirty=True)
+                return (page.page_id, slot)
+            self.pool.unpin(page.page_id, dirty=False)
+        page = self.pool.new_page()
+        self.page_ids.append(page.page_id)
+        self._insert_hint = page.page_id
+        slot = page.insert(record)
+        self.pool.unpin(page.page_id, dirty=True)
+        return (page.page_id, slot)
+
+    def read(self, rid: RID) -> bytes:
+        """Read the record at a RID."""
+        page = self.pool.fetch(rid[0])
+        try:
+            return page.read(rid[1])
+        finally:
+            self.pool.unpin(rid[0], dirty=False)
+
+    def update(self, rid: RID, record: bytes) -> None:
+        """Overwrite the record at a RID."""
+        page = self.pool.fetch(rid[0])
+        try:
+            page.update(rid[1], record)
+        finally:
+            self.pool.unpin(rid[0], dirty=True)
+
+    def delete(self, rid: RID) -> None:
+        """Delete the record at a RID."""
+        page = self.pool.fetch(rid[0])
+        try:
+            page.delete(rid[1])
+        finally:
+            self.pool.unpin(rid[0], dirty=True)
+
+    def scan(self):
+        """Yield (rid, record) for every live record."""
+        for page_id in self.page_ids:
+            page = self.pool.fetch(page_id)
+            try:
+                for slot in range(page.nslots):
+                    if not page.is_deleted(slot):
+                        yield (page_id, slot), page.read(slot)
+            finally:
+                self.pool.unpin(page_id, dirty=False)
+
+    @property
+    def num_records(self) -> int:
+        return sum(1 for _ in self.scan())

@@ -1,0 +1,93 @@
+"""Transactions: strict two-phase locking with WAL-backed durability."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import TransactionError
+from repro.db.lock import LockManager
+from repro.db.storage import RID
+from repro.db.wal import LogKind, LogManager
+
+
+class TxnState(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class UndoEntry:
+    """Enough to reverse one modification."""
+
+    table: str
+    rid: RID
+    kind: LogKind
+    before: bytes
+
+
+@dataclass
+class Transaction:
+    """One transaction's state."""
+
+    txn_id: int
+    state: TxnState = TxnState.ACTIVE
+    undo: List[UndoEntry] = field(default_factory=list)
+    last_lsn: int = 0
+
+    def require_active(self) -> None:
+        if self.state is not TxnState.ACTIVE:
+            raise TransactionError(
+                f"txn {self.txn_id} is {self.state.value}, not active"
+            )
+
+
+class TransactionManager:
+    """Begin/commit/abort protocol over the lock and log managers."""
+
+    def __init__(self, log: LogManager, locks: LockManager) -> None:
+        self.log = log
+        self.locks = locks
+        self._next_id = 1
+        self.active: dict = {}
+        self.committed = 0
+        self.aborted = 0
+
+    def begin(self) -> Transaction:
+        txn = Transaction(txn_id=self._next_id)
+        self._next_id += 1
+        self.active[txn.txn_id] = txn
+        txn.last_lsn = self.log.append(txn.txn_id, LogKind.BEGIN)
+        return txn
+
+    def commit(self, txn: Transaction) -> List[int]:
+        """Commit: log COMMIT, force the log, release locks.
+
+        Returns transaction ids whose lock waits were granted by the
+        release (the scheduler uses this to wake processes).
+        """
+        txn.require_active()
+        txn.last_lsn = self.log.append(txn.txn_id, LogKind.COMMIT)
+        self.log.flush()  # durability point (group commit rides along)
+        txn.state = TxnState.COMMITTED
+        del self.active[txn.txn_id]
+        self.committed += 1
+        return self.locks.release_all(txn.txn_id)
+
+    def abort(self, txn: Transaction, apply_undo) -> List[int]:
+        """Abort: undo modifications (newest first), log ABORT, release.
+
+        ``apply_undo`` is a callable ``f(UndoEntry)`` supplied by the
+        engine that physically reverses one modification.
+        """
+        txn.require_active()
+        for entry in reversed(txn.undo):
+            apply_undo(entry)
+        txn.last_lsn = self.log.append(txn.txn_id, LogKind.ABORT)
+        txn.state = TxnState.ABORTED
+        del self.active[txn.txn_id]
+        self.aborted += 1
+        self.locks.cancel_waits(txn.txn_id)
+        return self.locks.release_all(txn.txn_id)

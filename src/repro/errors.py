@@ -1,0 +1,57 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class IRError(ReproError):
+    """Malformed binary IR: bad successor wiring, duplicate names, etc."""
+
+
+class LayoutError(ReproError):
+    """A layout is inconsistent with the binary it claims to place."""
+
+
+class ProfileError(ReproError):
+    """Profile data is missing or inconsistent with the binary."""
+
+
+class DatabaseError(ReproError):
+    """Base class for mini-DBMS errors."""
+
+
+class PageError(DatabaseError):
+    """Page-level corruption or misuse (bad slot, overflow, checksum)."""
+
+
+class BufferPoolError(DatabaseError):
+    """Buffer pool misuse (unpinning an unpinned page, pool exhaustion)."""
+
+
+class LockError(DatabaseError):
+    """Lock manager failure (deadlock, illegal release)."""
+
+
+class DeadlockError(LockError):
+    """A lock request would deadlock; the transaction should abort."""
+
+
+class TransactionError(DatabaseError):
+    """Transaction protocol misuse (commit of an aborted txn, etc.)."""
+
+
+class KeyNotFoundError(DatabaseError):
+    """A point lookup did not find the requested key."""
+
+
+class DuplicateKeyError(DatabaseError):
+    """An insert collided with an existing unique key."""
+
+
+class WorkloadError(ReproError):
+    """Workload configuration or driver failure."""
+
+
+class SimulationError(ReproError):
+    """Execution/cache/timing simulation misconfiguration."""

@@ -1,0 +1,29 @@
+"""Execution model: CFG interpretation and the multiprocessor system."""
+
+from repro.execution.interpreter import CfgWalker
+from repro.execution.mp import (
+    DATA_BASE,
+    LOG_BASE,
+    OltpSystem,
+    PRIVATE_BASE,
+    SystemConfig,
+)
+from repro.execution.trace import (
+    CombinedAddressMap,
+    CpuTrace,
+    KERNEL_PID,
+    SystemTrace,
+)
+
+__all__ = [
+    "CfgWalker",
+    "CombinedAddressMap",
+    "CpuTrace",
+    "DATA_BASE",
+    "KERNEL_PID",
+    "LOG_BASE",
+    "OltpSystem",
+    "PRIVATE_BASE",
+    "SystemConfig",
+    "SystemTrace",
+]

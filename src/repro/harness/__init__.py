@@ -1,0 +1,26 @@
+"""Experiment harness shared by the benchmark suite."""
+
+from repro.harness.experiment import (
+    Experiment,
+    ExperimentConfig,
+    default_experiment,
+    dss_experiment,
+    quick_experiment,
+    uniprocessor_experiment,
+)
+from repro.harness import figures
+from repro.harness.store import load_profile, load_trace, save_profile, save_trace
+
+__all__ = [
+    "Experiment",
+    "ExperimentConfig",
+    "default_experiment",
+    "dss_experiment",
+    "figures",
+    "load_profile",
+    "load_trace",
+    "save_profile",
+    "save_trace",
+    "quick_experiment",
+    "uniprocessor_experiment",
+]

@@ -1,0 +1,252 @@
+"""Shared experiment infrastructure.
+
+One :class:`Experiment` owns everything the figures need: the generated
+application and kernel binaries, the Pixie profile (collected on its own
+profiling run, like the paper's 2000-transaction Pixie run), the
+optimized layouts, and the measurement trace (a separate run with a
+different request stream).  Every intermediate product is computed once
+and cached, so the per-figure benchmarks stay cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.execution import CombinedAddressMap, OltpSystem, SystemConfig, SystemTrace
+from repro.ir import Layout, assign_addresses, baseline_layout
+from repro.layout import SpikeOptimizer
+from repro.osmodel import KernelCodeConfig, build_kernel_program
+from repro.profiles import PixieProfiler, Profile
+from repro.progen import AppCodeConfig, CompiledProgram, build_app_program
+from repro.workloads import TpcbConfig
+
+
+@dataclass
+class ExperimentConfig:
+    """Everything that defines one reproduction run."""
+
+    app: AppCodeConfig = field(default_factory=lambda: AppCodeConfig(scale=10.0))
+    kernel: KernelCodeConfig = field(default_factory=lambda: KernelCodeConfig(scale=2.5))
+    tpcb: TpcbConfig = field(default_factory=lambda: TpcbConfig(
+        branches=40, accounts_per_branch=125))
+    system: SystemConfig = field(default_factory=SystemConfig)
+    profile_transactions: int = 150
+    measure_transactions: int = 150
+    warmup_transactions: int = 30
+    pool_capacity: int = 2048
+    btree_order: int = 64
+    #: Optional factory (tpcb_config, seed_offset) -> workload object;
+    #: defaults to TPC-B.  Lets the same pipeline run other workloads
+    #: (e.g. the DSS comparison).
+    workload_factory: Optional[object] = None
+
+
+class Experiment:
+    """Lazily computed pipeline with caching at every stage."""
+
+    def __init__(self, config: Optional[ExperimentConfig] = None) -> None:
+        self.config = config or ExperimentConfig()
+        self._app: Optional[CompiledProgram] = None
+        self._kernel: Optional[CompiledProgram] = None
+        self._profile: Optional[Profile] = None
+        self._kernel_profile: Optional[Profile] = None
+        self._optimizer: Optional[SpikeOptimizer] = None
+        self._kernel_optimizer: Optional[SpikeOptimizer] = None
+        self._layouts: Dict[str, Layout] = {}
+        self._kernel_layouts: Dict[str, Layout] = {}
+        self._amaps: Dict[Tuple[str, str], CombinedAddressMap] = {}
+        self._trace: Optional[SystemTrace] = None
+
+    # -- programs -----------------------------------------------------------
+
+    @property
+    def app(self) -> CompiledProgram:
+        if self._app is None:
+            self._app = build_app_program(self.config.app)
+        return self._app
+
+    @property
+    def kernel(self) -> CompiledProgram:
+        if self._kernel is None:
+            self._kernel = build_kernel_program(self.config.kernel)
+        return self._kernel
+
+    # -- profiling run ----------------------------------------------------------
+
+    def _run_system(self, transactions: int, tpcb_seed_offset: int) -> SystemTrace:
+        tpcb = replace(self.config.tpcb, seed=self.config.tpcb.seed + tpcb_seed_offset)
+        workload = None
+        if self.config.workload_factory is not None:
+            workload = self.config.workload_factory(tpcb, tpcb_seed_offset)
+        system = OltpSystem(
+            self.app,
+            self.kernel,
+            tpcb_config=tpcb,
+            system_config=self.config.system,
+            pool_capacity=self.config.pool_capacity,
+            btree_order=self.config.btree_order,
+            workload=workload,
+        )
+        return system.run(transactions, warmup=self.config.warmup_transactions)
+
+    @property
+    def profile(self) -> Profile:
+        """Pixie profile of the application (profiling run)."""
+        if self._profile is None:
+            trace = self._run_system(self.config.profile_transactions, 0)
+            profiler = PixieProfiler(self.app.binary)
+            for stream in trace.per_process_app_streams():
+                profiler.add_stream(stream)
+            self._profile = profiler.profile()
+            # Kernel profile from the same run (the paper used kprofile
+            # during the transaction-processing section).
+            kernel_profiler = PixieProfiler(self.kernel.binary)
+            offset = trace.kernel_offset
+            for cpu in trace.cpus:
+                kernel_blocks = cpu.blocks[cpu.blocks >= offset] - offset
+                kernel_profiler.add_stream(kernel_blocks)
+            self._kernel_profile = kernel_profiler.profile()
+        return self._profile
+
+    @property
+    def kernel_profile(self) -> Profile:
+        _ = self.profile  # ensures the profiling run happened
+        return self._kernel_profile
+
+    # -- layouts ---------------------------------------------------------------------
+
+    @property
+    def optimizer(self) -> SpikeOptimizer:
+        if self._optimizer is None:
+            self._optimizer = SpikeOptimizer(self.app.binary, self.profile)
+        return self._optimizer
+
+    @property
+    def kernel_optimizer(self) -> SpikeOptimizer:
+        if self._kernel_optimizer is None:
+            self._kernel_optimizer = SpikeOptimizer(
+                self.kernel.binary, self.kernel_profile
+            )
+        return self._kernel_optimizer
+
+    def layout(self, combo: str) -> Layout:
+        if combo not in self._layouts:
+            self._layouts[combo] = self.optimizer.layout(combo)
+        return self._layouts[combo]
+
+    def kernel_layout(self, combo: str) -> Layout:
+        if combo not in self._kernel_layouts:
+            if combo == "base":
+                self._kernel_layouts[combo] = baseline_layout(self.kernel.binary)
+            else:
+                self._kernel_layouts[combo] = self.kernel_optimizer.layout(combo)
+        return self._kernel_layouts[combo]
+
+    def address_map(self, combo: str, kernel_combo: str = "base") -> CombinedAddressMap:
+        key = (combo, kernel_combo)
+        if key not in self._amaps:
+            app_map = assign_addresses(self.app.binary, self.layout(combo))
+            kernel_map = assign_addresses(
+                self.kernel.binary, self.kernel_layout(kernel_combo)
+            )
+            self._amaps[key] = CombinedAddressMap(app_map, kernel_map)
+        return self._amaps[key]
+
+    # -- measurement trace ----------------------------------------------------------
+
+    @property
+    def trace(self) -> SystemTrace:
+        """The measurement run (distinct request stream from profiling)."""
+        if self._trace is None:
+            self._trace = self._run_system(self.config.measure_transactions, 1)
+        return self._trace
+
+    # -- streams for the cache simulators ----------------------------------------------
+
+    def app_streams(self, combo: str) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Per-CPU (starts, counts) for the application in isolation."""
+        amap = self.address_map(combo)
+        streams = []
+        for cpu in self.trace.cpus:
+            blocks = cpu.blocks[cpu.blocks < self.trace.kernel_offset]
+            streams.append(amap.expand_spans(blocks))
+        return streams
+
+    def kernel_streams(self, kernel_combo: str = "base") -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Per-CPU (starts, counts) for the kernel in isolation."""
+        amap = self.address_map("base", kernel_combo)
+        streams = []
+        for cpu in self.trace.cpus:
+            blocks = cpu.blocks[cpu.blocks >= self.trace.kernel_offset]
+            streams.append(amap.expand_spans(blocks))
+        return streams
+
+    def combined_streams(
+        self, combo: str, kernel_combo: str = "base"
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Per-CPU (starts, counts) for the combined app+OS stream."""
+        amap = self.address_map(combo, kernel_combo)
+        return [amap.expand_spans(cpu.blocks) for cpu in self.trace.cpus]
+
+    def per_process_streams(self, combo: str):
+        """Per-process app-only spans (single-CPU style studies)."""
+        amap = self.address_map(combo)
+        return [
+            amap.expand_spans(blocks)
+            for blocks in self.trace.per_process_app_streams()
+        ]
+
+
+@lru_cache(maxsize=1)
+def default_experiment() -> Experiment:
+    """The shared experiment instance used by the benchmark suite."""
+    return Experiment()
+
+
+@lru_cache(maxsize=1)
+def uniprocessor_experiment() -> Experiment:
+    """A single-CPU experiment (the paper's Figure 15 runs are
+    1-processor); shares the default code-generation config."""
+    config = ExperimentConfig(
+        system=SystemConfig(cpus=1, processes_per_cpu=8),
+        profile_transactions=100,
+        measure_transactions=100,
+        warmup_transactions=20,
+    )
+    return Experiment(config)
+
+
+@lru_cache(maxsize=1)
+def dss_experiment() -> Experiment:
+    """The DSS comparison experiment: the same generated binaries and
+    database, driven by read-only aggregation queries."""
+    from repro.workloads.dss import DssConfig, DssWorkload
+
+    config = ExperimentConfig(
+        profile_transactions=48,
+        measure_transactions=48,
+        warmup_transactions=8,
+        workload_factory=lambda tpcb, _offset: DssWorkload(
+            DssConfig(tpcb=tpcb)
+        ),
+    )
+    return Experiment(config)
+
+
+@lru_cache(maxsize=1)
+def quick_experiment() -> Experiment:
+    """A small, fast experiment for tests and smoke runs."""
+    config = ExperimentConfig(
+        app=AppCodeConfig(scale=1.0, filler_routines=120, filler_instructions=60_000),
+        kernel=KernelCodeConfig(scale=1.0, filler_routines=20, filler_instructions=8_000),
+        tpcb=TpcbConfig(branches=8, accounts_per_branch=100),
+        profile_transactions=60,
+        measure_transactions=60,
+        warmup_transactions=10,
+        pool_capacity=1024,
+    )
+    return Experiment(config)

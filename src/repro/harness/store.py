@@ -1,0 +1,110 @@
+"""Persistence for the expensive pipeline products.
+
+Generating the measurement trace is the costly step of every
+experiment (two full system runs).  These helpers serialize traces and
+profiles to ``.npz`` files so repeat studies — parameter sweeps, or
+re-running the benchmark suite after analysis-only changes — skip the
+regeneration.
+
+File format: a single compressed ``.npz`` whose arrays are prefixed by
+kind (``cpu{i}_blocks``, ``cpu{i}_pids``, ``data{i}_addr``, ...), plus
+a metadata array.  Profiles store the block-count array and the edge
+dictionary as parallel arrays.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Union
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.execution.trace import CpuTrace, SystemTrace
+from repro.ir import Binary
+from repro.profiles import Profile
+
+PathLike = Union[str, pathlib.Path]
+
+
+def save_trace(trace: SystemTrace, path: PathLike) -> None:
+    """Serialize a SystemTrace to a compressed .npz file."""
+    arrays = {
+        "meta": np.array(
+            [len(trace.cpus), trace.kernel_offset, trace.transactions],
+            dtype=np.int64,
+        )
+    }
+    for i, cpu in enumerate(trace.cpus):
+        arrays[f"cpu{i}_blocks"] = cpu.blocks
+        arrays[f"cpu{i}_pids"] = cpu.pids
+        arrays[f"data{i}_addr"] = trace.data_addresses[i]
+        arrays[f"data{i}_pos"] = trace.data_positions[i]
+    np.savez_compressed(str(path), **arrays)
+
+
+def load_trace(path: PathLike) -> SystemTrace:
+    """Load a SystemTrace written by :func:`save_trace`."""
+    with np.load(str(path)) as data:
+        try:
+            n_cpus, kernel_offset, transactions = data["meta"].tolist()
+        except KeyError:
+            raise SimulationError(f"{path}: not a serialized SystemTrace")
+        cpus = []
+        data_addresses = []
+        data_positions = []
+        for i in range(n_cpus):
+            cpus.append(
+                CpuTrace(
+                    blocks=data[f"cpu{i}_blocks"],
+                    pids=data[f"cpu{i}_pids"],
+                )
+            )
+            data_addresses.append(data[f"data{i}_addr"])
+            data_positions.append(data[f"data{i}_pos"])
+    return SystemTrace(
+        cpus=cpus,
+        data_addresses=data_addresses,
+        data_positions=data_positions,
+        kernel_offset=int(kernel_offset),
+        transactions=int(transactions),
+    )
+
+
+def save_profile(profile: Profile, path: PathLike) -> None:
+    """Serialize a Profile to a compressed .npz file."""
+    edges = profile.edge_counts
+    src = np.array([edge[0] for edge in edges], dtype=np.int64)
+    dst = np.array([edge[1] for edge in edges], dtype=np.int64)
+    counts = np.array([edges[edge] for edge in edges], dtype=np.int64)
+    np.savez_compressed(
+        str(path),
+        block_counts=profile.block_counts,
+        edge_src=src,
+        edge_dst=dst,
+        edge_counts=counts,
+    )
+
+
+def load_profile(binary: Binary, path: PathLike) -> Profile:
+    """Load a Profile written by :func:`save_profile`.
+
+    The caller supplies the binary it belongs to; a block-count length
+    mismatch (different generated binary) is rejected.
+    """
+    profile = Profile(binary)
+    with np.load(str(path)) as data:
+        block_counts = data["block_counts"]
+        if len(block_counts) != binary.num_blocks:
+            raise SimulationError(
+                f"{path}: profile covers {len(block_counts)} blocks, "
+                f"binary has {binary.num_blocks} (stale cache?)"
+            )
+        profile.block_counts = block_counts.astype(np.int64)
+        for src, dst, count in zip(
+            data["edge_src"].tolist(),
+            data["edge_dst"].tolist(),
+            data["edge_counts"].tolist(),
+        ):
+            profile.edge_counts[(src, dst)] = count
+    return profile

@@ -1,0 +1,40 @@
+"""Alpha-like binary IR: what the Spike-style optimizer sees."""
+
+from repro.ir.binary import Binary
+from repro.ir.block import BasicBlock
+from repro.ir.callgraph import UnitCallGraph, build_unit_call_graph
+from repro.ir.flowgraph import (
+    FlowEdge,
+    FlowGraph,
+    flow_graph_from_block_counts,
+    flow_graph_from_edge_counts,
+)
+from repro.ir.instruction import INSTRUCTION_BYTES, SEGMENT_ENDING, Terminator
+from repro.ir.layout import (
+    AddressMap,
+    CodeUnit,
+    Layout,
+    assign_addresses,
+    baseline_layout,
+)
+from repro.ir.procedure import Procedure
+
+__all__ = [
+    "AddressMap",
+    "BasicBlock",
+    "Binary",
+    "CodeUnit",
+    "FlowEdge",
+    "FlowGraph",
+    "INSTRUCTION_BYTES",
+    "Layout",
+    "Procedure",
+    "SEGMENT_ENDING",
+    "Terminator",
+    "UnitCallGraph",
+    "assign_addresses",
+    "baseline_layout",
+    "build_unit_call_graph",
+    "flow_graph_from_block_counts",
+    "flow_graph_from_edge_counts",
+]

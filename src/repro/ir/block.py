@@ -1,0 +1,76 @@
+"""Basic blocks of the binary IR."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.errors import IRError
+from repro.ir.instruction import Terminator
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line run of instructions ending in a terminator.
+
+    Attributes:
+        bid: Dense global block id, assigned by :class:`~repro.ir.binary.Binary`
+            when the block is added.  ``-1`` until then.
+        label: Human-readable label, unique within the owning procedure.
+        size: Number of instructions including the terminator (>= 1).
+        terminator: How control leaves the block.
+        succs: Successor block ids.  Meaning depends on the terminator:
+            COND_BRANCH -> ``(taken, fallthrough)``; FALLTHROUGH, CALL and
+            UNCOND_BRANCH -> ``(next,)``; RETURN -> ``()``;
+            INDIRECT_JUMP -> any number of possible targets.
+        call_target: Callee procedure name for CALL blocks.
+    """
+
+    label: str
+    size: int
+    terminator: Terminator = Terminator.FALLTHROUGH
+    succs: Tuple[int, ...] = ()
+    call_target: Optional[str] = None
+    bid: int = -1
+    proc_name: str = field(default="", repr=False)
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise IRError(f"block {self.label!r}: size must be >= 1, got {self.size}")
+        if self.terminator is Terminator.CALL and self.call_target is None:
+            raise IRError(f"block {self.label!r}: CALL block needs a call_target")
+        if self.terminator is not Terminator.CALL and self.call_target is not None:
+            raise IRError(
+                f"block {self.label!r}: call_target only valid on CALL blocks"
+            )
+
+    @property
+    def taken(self) -> int:
+        """Taken-branch successor of a COND_BRANCH block."""
+        if self.terminator is not Terminator.COND_BRANCH:
+            raise IRError(f"block {self.label!r} has no taken successor")
+        return self.succs[0]
+
+    @property
+    def fallthrough(self) -> int:
+        """Fallthrough successor of a COND_BRANCH block."""
+        if self.terminator is not Terminator.COND_BRANCH:
+            raise IRError(f"block {self.label!r} has no fallthrough successor")
+        return self.succs[1]
+
+    def validate(self) -> None:
+        """Check the successor arity matches the terminator kind."""
+        arity = len(self.succs)
+        term = self.terminator
+        if term is Terminator.COND_BRANCH and arity != 2:
+            raise IRError(f"block {self.label!r}: COND_BRANCH needs 2 succs")
+        if term in (
+            Terminator.FALLTHROUGH,
+            Terminator.UNCOND_BRANCH,
+            Terminator.CALL,
+        ) and arity != 1:
+            raise IRError(f"block {self.label!r}: {term.value} needs 1 succ")
+        if term is Terminator.RETURN and arity != 0:
+            raise IRError(f"block {self.label!r}: RETURN takes no succs")
+        if term is Terminator.INDIRECT_JUMP and arity < 1:
+            raise IRError(f"block {self.label!r}: INDIRECT_JUMP needs >= 1 succ")

@@ -1,0 +1,102 @@
+"""Per-procedure control-flow graphs with profile edge weights."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.ir.instruction import Terminator
+from repro.ir.procedure import Procedure
+
+
+@dataclass(frozen=True)
+class FlowEdge:
+    """A weighted intra-procedure control-flow edge."""
+
+    src: int
+    dst: int
+    weight: float
+
+
+class FlowGraph:
+    """Control-flow graph of one procedure, weighted by a profile.
+
+    Edges exist for every possible intra-procedure transition: both arms
+    of conditional branches, unconditional branch targets, fallthroughs,
+    call return-continuations, and all indirect-jump targets.
+    """
+
+    def __init__(self, proc: Procedure) -> None:
+        self.proc = proc
+        self._weights: Dict[Tuple[int, int], float] = {}
+        for block in proc.blocks:
+            for dst in block.succs:
+                self._weights[(block.bid, dst)] = 0.0
+
+    def set_weight(self, src: int, dst: int, weight: float) -> None:
+        """Set the weight of an existing edge (unknown edges are ignored
+        -- a profile may include transitions this graph does not model,
+        e.g. exceptional paths)."""
+        if (src, dst) in self._weights:
+            self._weights[(src, dst)] = weight
+
+    def weight(self, src: int, dst: int) -> float:
+        return self._weights.get((src, dst), 0.0)
+
+    def edges(self) -> List[FlowEdge]:
+        """All edges, unordered."""
+        return [FlowEdge(s, d, w) for (s, d), w in self._weights.items()]
+
+    def edges_by_weight(self) -> List[FlowEdge]:
+        """Edges sorted heaviest-first.
+
+        Ties break deterministically on (src, dst) so chaining is
+        reproducible run to run -- the "stable tie-break" design choice
+        called out in DESIGN.md.
+        """
+        return sorted(
+            self.edges(), key=lambda e: (-e.weight, e.src, e.dst)
+        )
+
+
+def flow_graph_from_block_counts(
+    proc: Procedure, block_counts
+) -> FlowGraph:
+    """Estimate edge weights from basic-block execution counts.
+
+    This mirrors the paper's Pixie-based setup: "the control flow edge
+    weights are estimated from the basic block counts".  Each edge
+    ``s -> d`` gets weight ``count(d) * count(s) / sum(count(preds of d))``
+    apportioned by predecessor hotness; a simpler and adequate
+    estimator used here is ``min(count(s), count(d))``.
+    """
+    graph = FlowGraph(proc)
+    for block in proc.blocks:
+        for dst in block.succs:
+            src_count = float(block_counts[block.bid])
+            dst_count = float(block_counts[dst])
+            graph.set_weight(block.bid, dst, min(src_count, dst_count))
+    return graph
+
+
+def flow_graph_from_edge_counts(
+    proc: Procedure, edge_counts, block_counts=None
+) -> FlowGraph:
+    """Build exact edge weights from measured transition counts.
+
+    ``edge_counts`` maps ``(src_bid, dst_bid) -> count``; transitions
+    not present default to zero.  Call blocks are special: the callee's
+    code runs between the call and its continuation, so the transition
+    never appears in the measured stream -- when ``block_counts`` is
+    supplied, call-continuation edges are weighted by the calling
+    block's execution count instead.
+    """
+    graph = FlowGraph(proc)
+    for block in proc.blocks:
+        for dst in block.succs:
+            if block.terminator is Terminator.CALL and block_counts is not None:
+                weight = float(block_counts[block.bid])
+            else:
+                weight = float(edge_counts.get((block.bid, dst), 0))
+            graph.set_weight(block.bid, dst, weight)
+    return graph

@@ -1,0 +1,231 @@
+"""Code layout: placing code units in the address space.
+
+A :class:`Layout` is an ordered list of :class:`CodeUnit` (whole
+procedures, or segments produced by fine-grain splitting), each an
+ordered list of block ids.  :func:`assign_addresses` turns a layout
+into an :class:`AddressMap`, applying the classic branch fixups:
+
+* a conditional branch whose *taken* target became the adjacent block is
+  inverted (polarity swap, no size change);
+* a conditional branch with neither successor adjacent gets an
+  unconditional branch appended (+1 instruction);
+* a fallthrough/call whose continuation is not adjacent gets an
+  unconditional branch appended (+1 instruction);
+* an unconditional branch whose target became adjacent is deleted
+  (-1 instruction; a branch-only block vanishes entirely).
+
+These fixups are why chaining actually shortens the dynamic path and
+lengthens sequential runs -- they are the mechanism behind the paper's
+Figure 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import LayoutError
+from repro.ir.binary import Binary
+from repro.ir.instruction import INSTRUCTION_BYTES, Terminator
+
+
+@dataclass(frozen=True)
+class CodeUnit:
+    """An independently placeable run of blocks.
+
+    For an unsplit binary a unit is a whole procedure; after fine-grain
+    splitting each segment is its own unit.  ``is_entry`` marks the unit
+    containing the owning procedure's entry block.
+    """
+
+    name: str
+    proc_name: str
+    block_ids: Tuple[int, ...]
+    is_entry: bool = True
+    #: Extra padding bytes inserted before this unit (after alignment);
+    #: used by the CFA layout to steer code away from reserved cache sets.
+    pad_before: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.block_ids:
+            raise LayoutError(f"code unit {self.name!r} has no blocks")
+        if self.pad_before < 0:
+            raise LayoutError(f"code unit {self.name!r}: negative padding")
+
+    def with_pad(self, pad_before: int) -> "CodeUnit":
+        """Copy of this unit with different leading padding."""
+        return CodeUnit(
+            name=self.name,
+            proc_name=self.proc_name,
+            block_ids=self.block_ids,
+            is_entry=self.is_entry,
+            pad_before=pad_before,
+        )
+
+
+@dataclass
+class Layout:
+    """An ordered placement of code units.
+
+    Attributes:
+        units: Units in address order.
+        alignment: Byte alignment of each unit's start address.
+        name: Label for reports ("base", "chain+porder", ...).
+    """
+
+    units: List[CodeUnit]
+    alignment: int = 16
+    name: str = "layout"
+
+    def block_order(self) -> List[int]:
+        """All block ids in placement order."""
+        order: List[int] = []
+        for unit in self.units:
+            order.extend(unit.block_ids)
+        return order
+
+    def validate_against(self, binary: Binary) -> None:
+        """Check the layout places every block of the binary exactly once."""
+        seen = self.block_order()
+        if len(seen) != binary.num_blocks or len(set(seen)) != len(seen):
+            raise LayoutError(
+                f"layout {self.name!r} places {len(set(seen))} distinct blocks; "
+                f"binary has {binary.num_blocks}"
+            )
+
+
+def baseline_layout(binary: Binary, alignment: int = 16) -> Layout:
+    """The original image layout: procedures in link order, blocks in
+    source order -- one unit per procedure."""
+    units = [
+        CodeUnit(
+            name=name,
+            proc_name=name,
+            block_ids=tuple(binary.proc(name).block_ids()),
+            is_entry=True,
+        )
+        for name in binary.proc_order()
+    ]
+    return Layout(units=units, alignment=alignment, name="base")
+
+
+class AddressMap:
+    """Block placement produced by :func:`assign_addresses`.
+
+    Flat numpy arrays indexed by global block id:
+
+    * ``addr``: byte address of the block's first instruction.
+    * ``n_fetch``: instructions fetched when the block executes and
+      control leaves via any path other than an inverted/taken special
+      case (includes appended fixup branches, excludes deleted ones).
+    * ``taken_succ`` / ``n_fetch_taken``: for conditional blocks where
+      the taken path fetches a different count (e.g. a cond branch with
+      an appended unconditional branch: the taken path skips the
+      appended branch), ``taken_succ[b]`` is the successor id and
+      ``n_fetch_taken[b]`` the count; -1 elsewhere.
+
+    ``fetched(bid, next_bid)`` and the vectorized helpers derive
+    per-transition fetch spans for trace replay.
+    """
+
+    def __init__(self, binary: Binary, layout: Layout) -> None:
+        self.binary = binary
+        self.layout = layout
+        n = binary.num_blocks
+        self.addr = np.zeros(n, dtype=np.int64)
+        self.n_fetch = np.zeros(n, dtype=np.int32)
+        self.taken_succ = np.full(n, -1, dtype=np.int64)
+        self.n_fetch_taken = np.full(n, -1, dtype=np.int32)
+        #: Polarity inversions applied (block ids) -- informational.
+        self.inverted: set = set()
+        #: Unconditional branches deleted / appended (block ids).
+        self.deleted_branches: set = set()
+        self.appended_branches: set = set()
+        self.total_bytes = 0
+        self.unit_starts: Dict[str, int] = {}
+
+    def end_addr(self, bid: int) -> int:
+        """Byte address one past the block's placed footprint."""
+        return int(self.addr[bid]) + int(self.n_fetch[bid]) * INSTRUCTION_BYTES
+
+    def fetched(self, bid: int, next_bid: Optional[int]) -> int:
+        """Instructions fetched executing ``bid`` then going to ``next_bid``."""
+        if next_bid is not None and next_bid == self.taken_succ[bid]:
+            return int(self.n_fetch_taken[bid])
+        return int(self.n_fetch[bid])
+
+    def is_sequential(self, bid: int, next_bid: int) -> bool:
+        """True when the transition ``bid -> next_bid`` does not break
+        the sequential instruction stream."""
+        fetched = self.fetched(bid, next_bid)
+        return int(self.addr[next_bid]) == int(self.addr[bid]) + fetched * INSTRUCTION_BYTES
+
+
+def assign_addresses(binary: Binary, layout: Layout) -> AddressMap:
+    """Place a layout in the address space, applying branch fixups.
+
+    When the layout packs units densely (alignment == instruction
+    width, no padding), branch fixups also apply across unit
+    boundaries: a segment-terminal branch to the very next segment is
+    deleted, exactly as a final optimizer pass would do.
+    """
+    layout.validate_against(binary)
+    amap = AddressMap(binary, layout)
+    align = max(layout.alignment, INSTRUCTION_BYTES)
+    dense = align == INSTRUCTION_BYTES
+    cursor = 0
+    for index, unit in enumerate(layout.units):
+        cursor += unit.pad_before
+        rem = cursor % align
+        if rem:
+            cursor += align - rem
+        amap.unit_starts[unit.name] = cursor
+        ids = unit.block_ids
+        next_unit_first: Optional[int] = None
+        if dense and index + 1 < len(layout.units):
+            nxt = layout.units[index + 1]
+            if nxt.pad_before == 0:
+                next_unit_first = nxt.block_ids[0]
+        for pos, bid in enumerate(ids):
+            block = binary.block(bid)
+            if pos + 1 < len(ids):
+                next_in_unit: Optional[int] = ids[pos + 1]
+            else:
+                next_in_unit = next_unit_first
+            n_fetch = block.size
+            term = block.terminator
+            if term is Terminator.FALLTHROUGH or term is Terminator.CALL:
+                if block.succs[0] != next_in_unit:
+                    n_fetch += 1
+                    amap.appended_branches.add(bid)
+            elif term is Terminator.COND_BRANCH:
+                taken, fallthrough = block.succs
+                if fallthrough == next_in_unit:
+                    pass  # natural polarity
+                elif taken == next_in_unit:
+                    amap.inverted.add(bid)
+                    amap.taken_succ[bid] = fallthrough
+                    amap.n_fetch_taken[bid] = block.size
+                else:
+                    # Neither successor adjacent: keep the conditional
+                    # branch (to the taken target) and append an
+                    # unconditional branch for the fallthrough path.
+                    n_fetch += 1
+                    amap.appended_branches.add(bid)
+                    amap.taken_succ[bid] = taken
+                    amap.n_fetch_taken[bid] = block.size
+            elif term is Terminator.UNCOND_BRANCH:
+                if block.succs[0] == next_in_unit and block.size >= 1:
+                    n_fetch -= 1
+                    amap.deleted_branches.add(bid)
+            # RETURN / INDIRECT_JUMP need no fixups.
+            amap.addr[bid] = cursor
+            amap.n_fetch[bid] = n_fetch
+            cursor += n_fetch * INSTRUCTION_BYTES
+        # A block reduced to zero instructions (branch-only block whose
+        # branch was deleted) occupies no bytes; its address aliases the
+        # next block, which is exactly the fall-into behaviour we want.
+    amap.total_bytes = cursor
+    return amap

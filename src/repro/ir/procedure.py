@@ -1,0 +1,101 @@
+"""Procedures of the binary IR."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import IRError
+from repro.ir.block import BasicBlock
+from repro.ir.instruction import Terminator
+
+
+class Procedure:
+    """A named procedure: an entry block plus a control-flow graph.
+
+    Blocks are kept in *source order* -- the order the original compiler
+    emitted them, which defines the baseline (unoptimized) layout.
+    Successor references use labels while the procedure is under
+    construction; :meth:`seal` resolves them to global block ids once
+    the owning binary has assigned ids.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.blocks: List[BasicBlock] = []
+        self._by_label: Dict[str, BasicBlock] = {}
+        self._label_succs: Dict[str, tuple] = {}
+        self._sealed = False
+
+    def add_block(
+        self,
+        label: str,
+        size: int,
+        terminator: Terminator = Terminator.FALLTHROUGH,
+        succs: Iterable[str] = (),
+        call_target: Optional[str] = None,
+    ) -> BasicBlock:
+        """Append a block; ``succs`` are labels resolved at seal time."""
+        if self._sealed:
+            raise IRError(f"procedure {self.name!r} is sealed")
+        if label in self._by_label:
+            raise IRError(f"procedure {self.name!r}: duplicate label {label!r}")
+        block = BasicBlock(
+            label=label,
+            size=size,
+            terminator=terminator,
+            call_target=call_target,
+            proc_name=self.name,
+        )
+        self.blocks.append(block)
+        self._by_label[label] = block
+        self._label_succs[label] = tuple(succs)
+        return block
+
+    @property
+    def entry(self) -> BasicBlock:
+        """The procedure entry block (always the first source block)."""
+        if not self.blocks:
+            raise IRError(f"procedure {self.name!r} has no blocks")
+        return self.blocks[0]
+
+    def block(self, label: str) -> BasicBlock:
+        """Look a block up by label."""
+        try:
+            return self._by_label[label]
+        except KeyError:
+            raise IRError(f"procedure {self.name!r}: no block {label!r}") from None
+
+    def seal(self) -> None:
+        """Resolve label successors to global block ids and validate.
+
+        Must be called after the owning binary has assigned ``bid`` to
+        every block of this procedure.
+        """
+        for block in self.blocks:
+            if block.bid < 0:
+                raise IRError(
+                    f"procedure {self.name!r}: block {block.label!r} has no id"
+                )
+        for block in self.blocks:
+            labels = self._label_succs[block.label]
+            try:
+                block.succs = tuple(self._by_label[lab].bid for lab in labels)
+            except KeyError as exc:
+                raise IRError(
+                    f"procedure {self.name!r}: block {block.label!r} references "
+                    f"unknown successor {exc.args[0]!r}"
+                ) from None
+            block.validate()
+        self._sealed = True
+
+    @property
+    def size(self) -> int:
+        """Total instruction count over all blocks (pre-layout)."""
+        return sum(b.size for b in self.blocks)
+
+    def block_ids(self) -> List[int]:
+        """Global ids of this procedure's blocks in source order."""
+        return [b.bid for b in self.blocks]
+
+    def __repr__(self) -> str:
+        return f"Procedure({self.name!r}, {len(self.blocks)} blocks)"

@@ -1,0 +1,63 @@
+"""DCPI-style PC-sampling profiler.
+
+DCPI samples the program counter on performance-counter overflow.  Our
+equivalent walks a block trace, advancing a virtual instruction clock,
+and records a sample every ``period`` instructions.  Block counts are
+then *estimated* by scaling sample hits by the sampling period and
+dividing by block size (a sample lands in a block with probability
+proportional to ``count * size``).
+
+Edge counts cannot be recovered from PC samples; DCPI-based profiles
+leave ``edge_counts`` empty and downstream consumers fall back to the
+block-count estimator (``flow_graph_from_block_counts``), exactly the
+situation the paper describes for kernel profiling with kprofile.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ir import Binary
+from repro.profiles.profile import Profile
+
+
+class DcpiProfiler:
+    """Sampling profiler over basic-block traces."""
+
+    def __init__(self, binary: Binary, period: int = 4096) -> None:
+        if period < 1:
+            raise ValueError(f"sampling period must be >= 1, got {period}")
+        self.binary = binary
+        self.period = period
+        self._sizes = np.array([b.size for b in binary.blocks()], dtype=np.int64)
+        self._sample_hits = np.zeros(binary.num_blocks, dtype=np.int64)
+        self._phase = 0  # instructions until next sample
+
+    def add_stream(self, block_trace) -> None:
+        """Accumulate samples from one process's block trace."""
+        trace = np.asarray(block_trace, dtype=np.int64)
+        if trace.size == 0:
+            return
+        sizes = self._sizes[trace]
+        ends = np.cumsum(sizes)
+        starts = ends - sizes
+        total = int(ends[-1])
+        # Sample positions in this stream's instruction timeline.
+        first = self.period - self._phase
+        positions = np.arange(first, total + 1, self.period)
+        if positions.size:
+            # Which block does each sampled instruction land in?
+            idx = np.searchsorted(ends, positions - 1, side="right")
+            np.add.at(self._sample_hits, trace[idx], 1)
+        self._phase = (self._phase + total) % self.period
+
+    def profile(self) -> Profile:
+        """Estimated profile: counts ~= hits * period / block_size."""
+        prof = Profile(self.binary)
+        est = self._sample_hits * self.period / np.maximum(self._sizes, 1)
+        prof.block_counts = np.rint(est).astype(np.int64)
+        return prof
+
+    @property
+    def samples_taken(self) -> int:
+        return int(self._sample_hits.sum())

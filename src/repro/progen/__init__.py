@@ -1,0 +1,53 @@
+"""Synthetic program generation: DSL, compiler, routine libraries."""
+
+from repro.progen.builder import CompiledProgram, build_binary, iter_nodes
+from repro.progen.calibration import (
+    CalibrationResult,
+    calibrate_scale,
+    warm_footprint_bytes,
+)
+from repro.progen.dsl import (
+    Call,
+    CallSeq,
+    ColdPath,
+    If,
+    Loop,
+    Node,
+    RoutineSpec,
+    Straight,
+    SubCall,
+    Syscall,
+    eval_cond,
+    eval_count,
+)
+from repro.progen.library import (
+    AppCodeConfig,
+    HELPERS,
+    build_app_program,
+    generate_code_run,
+)
+
+__all__ = [
+    "AppCodeConfig",
+    "CalibrationResult",
+    "calibrate_scale",
+    "warm_footprint_bytes",
+    "Call",
+    "CallSeq",
+    "ColdPath",
+    "CompiledProgram",
+    "HELPERS",
+    "If",
+    "Loop",
+    "Node",
+    "RoutineSpec",
+    "Straight",
+    "SubCall",
+    "Syscall",
+    "build_app_program",
+    "build_binary",
+    "eval_cond",
+    "eval_count",
+    "generate_code_run",
+    "iter_nodes",
+]

@@ -1,0 +1,90 @@
+"""Footprint calibration: solve the code-generation scale for a target.
+
+The paper's Oracle binary shows a ~260 KB dynamic instruction footprint
+(Figure 3).  The generated binary's footprint is controlled by
+``AppCodeConfig.scale``; this utility measures the *potential* warm
+footprint of a candidate scale (total size of the non-cold code in
+protocol routines, which is what a long-enough run touches) and
+searches for the scale hitting a byte target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+from repro.ir import INSTRUCTION_BYTES
+from repro.progen.builder import CompiledProgram
+from repro.progen.library import AppCodeConfig, build_app_program
+
+
+@dataclass
+class CalibrationResult:
+    """Outcome of a footprint calibration search."""
+
+    scale: float
+    warm_bytes: int
+    target_bytes: int
+    iterations: int
+
+    @property
+    def relative_error(self) -> float:
+        return abs(self.warm_bytes - self.target_bytes) / self.target_bytes
+
+
+def warm_footprint_bytes(program: CompiledProgram) -> int:
+    """Upper bound on the dynamic footprint: every block of every
+    non-filler routine except dead cold-path bodies.
+
+    Cold-path bodies are identified structurally: blocks reachable only
+    through a ColdPath guard's taken edge never execute.
+    """
+    from repro.progen.dsl import ColdPath
+    from repro.progen.builder import iter_nodes
+
+    total = 0
+    for name, spec in program.specs.items():
+        if name.startswith(("cold_", "kcold_")):
+            continue
+        proc = program.binary.proc(name)
+        proc_total = sum(b.size for b in proc.blocks)
+        cold = sum(
+            node.size + 2 for node in iter_nodes(spec.body)
+            if isinstance(node, ColdPath)
+        )
+        total += max(0, proc_total - cold)
+    return total * INSTRUCTION_BYTES
+
+
+def calibrate_scale(
+    target_bytes: int,
+    base_config: AppCodeConfig = None,
+    tolerance: float = 0.05,
+    max_iterations: int = 12,
+) -> Tuple[AppCodeConfig, CalibrationResult]:
+    """Search for the scale whose warm footprint hits ``target_bytes``.
+
+    Uses proportional iteration (footprint is close to linear in scale);
+    converges in a handful of builds.
+    """
+    if target_bytes <= 0:
+        raise ValueError("target_bytes must be positive")
+    config = base_config or AppCodeConfig()
+    scale = max(0.1, config.scale)
+    best = None
+    for iteration in range(1, max_iterations + 1):
+        candidate = replace(config, scale=scale)
+        program = build_app_program(candidate)
+        warm = warm_footprint_bytes(program)
+        result = CalibrationResult(
+            scale=scale, warm_bytes=warm, target_bytes=target_bytes,
+            iterations=iteration,
+        )
+        if best is None or result.relative_error < best[1].relative_error:
+            best = (candidate, result)
+        if result.relative_error <= tolerance:
+            return candidate, result
+        # Proportional correction with damping to avoid oscillation.
+        ratio = target_bytes / max(1, warm)
+        scale = max(0.1, scale * (0.5 + 0.5 * ratio))
+    return best

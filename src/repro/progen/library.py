@@ -1,0 +1,524 @@
+"""The application routine library: the synthetic "Oracle" code body.
+
+Every logical engine operation has a routine spec here whose *protocol*
+(traced child calls, branch bindings, loop counts) exactly matches what
+`repro.db` emits, and whose *body* is generated warm code calibrated to
+OLTP realism: small basic blocks, data-dependent two-sided branches,
+shared utility helpers, inline and out-of-line error paths, and
+per-table specialized access paths (the reason commercial DB engines
+have such large instruction footprints).
+
+The generated binary also contains cold filler routines interleaved
+with the hot ones in link order, reproducing the paper's situation of
+a ~27 MB image whose ~260 KB hot footprint is scattered through it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.progen.builder import CompiledProgram, build_binary
+from repro.progen.dsl import (
+    Call,
+    CallSeq,
+    ColdPath,
+    If,
+    Loop,
+    Node,
+    RoutineSpec,
+    Straight,
+    SubCall,
+    Syscall,
+)
+
+#: Shared utility helpers (hash, copy, compare...): the hottest code in
+#: any DB engine, called statically from everywhere.
+HELPERS = (
+    "h.hash", "h.memcmp", "h.memcpy", "h.crc", "h.bisect",
+    "h.lru", "h.latch", "h.decode", "h.cmp_int", "h.spin",
+)
+
+
+@dataclass
+class AppCodeConfig:
+    """Knobs for the generated application binary."""
+
+    #: (table name, has unique index) in TPC-B order.
+    tables: Tuple[Tuple[str, bool], ...] = (
+        ("account", True), ("teller", True), ("branch", True), ("history", False),
+    )
+    seed: int = 42
+    #: Multiplies every body budget; calibrates the hot footprint.
+    scale: float = 1.0
+    #: Cold filler routines interleaved between hot routines.
+    filler_routines: int = 400
+    #: Total instructions across all filler routines.
+    filler_instructions: int = 250_000
+
+
+class CodeFactory:
+    """Generates warm code bodies, factoring them into many small
+    private functions.
+
+    Commercial engines spread their hot footprint over thousands of
+    small procedures; the factory reproduces that by carving chunks of
+    each routine's budget into separate private-function specs
+    (collected into ``collector``) reached through static calls.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        helpers: Optional[Sequence[str]] = HELPERS,
+        collector: Optional[List[RoutineSpec]] = None,
+        private_fraction: float = 0.6,
+    ) -> None:
+        self.rng = rng
+        self.helpers = helpers
+        self.collector = collector
+        self.private_fraction = private_fraction
+        self._counter = 0
+
+    def run(self, budget: int, owner: str = "") -> List[Node]:
+        """Generate ~``budget`` instructions for routine ``owner``,
+        outlining roughly ``private_fraction`` of it into private
+        functions."""
+        if self.collector is None or not owner:
+            return generate_code_run(self.rng, budget, self.helpers)
+        nodes: List[Node] = []
+        remaining = max(1, budget)
+        while remaining > 0:
+            if remaining > 90 and self.rng.random() < self.private_fraction:
+                chunk = min(remaining, self.rng.randint(60, 200))
+                name = f"{owner}.p{self._counter}"
+                self._counter += 1
+                self.collector.append(
+                    RoutineSpec(
+                        name=name,
+                        body=generate_code_run(self.rng, chunk, self.helpers),
+                        prologue=self.rng.randint(2, 4),
+                        epilogue=2,
+                    )
+                )
+                nodes.append(SubCall(name, size=self.rng.randint(2, 4)))
+                remaining -= chunk
+            else:
+                chunk = min(remaining, self.rng.randint(25, 80))
+                nodes.extend(generate_code_run(self.rng, chunk, self.helpers))
+                remaining -= chunk
+        return nodes
+
+
+def generate_code_run(
+    rng: random.Random,
+    budget: int,
+    helpers: Optional[Sequence[str]] = HELPERS,
+    depth: int = 0,
+) -> List[Node]:
+    """Generate ~``budget`` static instructions of realistic warm code.
+
+    The mix: straight-line blocks (3-9 instructions), two-sided and
+    one-sided pseudo-random branches, helper calls, short constant
+    loops, and cold error paths.
+    """
+    nodes: List[Node] = []
+    spent = 0
+    budget = max(1, budget)
+    while spent < budget:
+        roll = rng.random()
+        if roll < 0.34 or depth >= 2:
+            size = rng.randint(3, 9)
+            nodes.append(Straight(size))
+            spent += size
+        elif roll < 0.52:
+            # Warm two-sided branch; either arm may be the common one,
+            # so an unprofiled layout guesses wrong about half the time.
+            percent = rng.randint(25, 75)
+            cmp_size = rng.randint(2, 4)
+            then_budget = rng.randint(4, 12)
+            else_budget = rng.randint(3, 10)
+            nodes.append(
+                If(
+                    f"?{percent}",
+                    then=generate_code_run(rng, then_budget, helpers, depth + 1),
+                    orelse=generate_code_run(rng, else_budget, helpers, depth + 1),
+                    size=cmp_size,
+                )
+            )
+            spent += cmp_size + then_budget + else_budget + 1
+        elif roll < 0.64:
+            # Lukewarm skip-arm: the common path *takes* the branch
+            # around it (the wrong-polarity pattern chaining fixes).
+            percent = rng.randint(8, 30)
+            cmp_size = rng.randint(2, 4)
+            then_budget = rng.randint(6, 20)
+            nodes.append(
+                If(
+                    f"?{percent}",
+                    then=generate_code_run(rng, then_budget, helpers, depth + 1),
+                    size=cmp_size,
+                )
+            )
+            spent += cmp_size + then_budget
+        elif roll < 0.68:
+            # Rare arm: touched a handful of times per run -- the long
+            # flat tail of the OLTP execution profile.
+            percent = rng.randint(2, 7)
+            cmp_size = rng.randint(2, 3)
+            then_budget = rng.randint(10, 30)
+            nodes.append(
+                If(
+                    f"?{percent}",
+                    then=generate_code_run(rng, then_budget, helpers, depth + 1),
+                    size=cmp_size,
+                )
+            )
+            spent += cmp_size + then_budget
+        elif roll < 0.74 and helpers:
+            nodes.append(SubCall(rng.choice(list(helpers)), size=rng.randint(2, 5)))
+            spent += 4
+        elif roll < 0.92:
+            # Dead error chunks fragment cache lines in the base layout
+            # (mostly inline, as unprofiled compilers emit them);
+            # chaining and splitting banish them.  This is the dominant
+            # source of the paper's 46%-unused-fetched-words baseline.
+            cold = rng.randint(10, 50)
+            nodes.append(
+                ColdPath(cold, blocks=rng.randint(1, 4), inline=rng.random() < 0.7)
+            )
+            spent += (cold + 2) // 2
+        else:
+            body_budget = rng.randint(6, 16)
+            nodes.append(
+                Loop(
+                    rng.randint(1, 3),
+                    body=generate_code_run(rng, body_budget, helpers, depth + 1),
+                    size=3,
+                )
+            )
+            spent += body_budget + 4
+    return nodes
+
+
+def _helper_specs(rng: random.Random, scale: float) -> List[RoutineSpec]:
+    specs = []
+    for name in HELPERS:
+        budget = max(8, int(rng.randint(18, 40) * scale))
+        specs.append(
+            RoutineSpec(
+                name=name,
+                body=generate_code_run(rng, budget, helpers=None),
+                prologue=2,
+                epilogue=2,
+            )
+        )
+    return specs
+
+
+def _shared_specs(factory: CodeFactory, scale: float) -> List[RoutineSpec]:
+    """Routines shared across tables (buffer pool, locks, WAL, txn)."""
+
+    current_owner = [""]
+
+    def run(budget: int) -> List[Node]:
+        return factory.run(max(3, int(budget * scale)), owner=current_owner[0])
+
+    def spec(name: str, body_fn) -> RoutineSpec:
+        current_owner[0] = name
+        return RoutineSpec(name, body=body_fn())
+
+    specs = [
+        spec("buffer_get", lambda: [
+            *run(30),
+            SubCall("h.hash"),
+            *run(25),
+            If("hit",
+               then=[SubCall("h.lru"), *run(20)],
+               orelse=[
+                   *run(35),
+                   Syscall("k.read"),
+                   If("wrote_back", then=[Straight(4), Syscall("k.write")]),
+                   *run(30),
+               ]),
+            ColdPath(int(60 * scale) + 6, blocks=4),
+        ]),
+        spec("buffer_new", lambda: [
+            *run(35),
+            If("wrote_back", then=[Straight(4), Syscall("k.write")]),
+            *run(40),
+            ColdPath(int(40 * scale) + 4, blocks=3),
+        ]),
+        spec("lock_acquire", lambda: [
+            *run(30),
+            SubCall("h.hash"),
+            *run(30),
+            If("deadlock", then=[*run(40)]),
+            If("waited",
+               then=[*run(15), Syscall("k.yield")],
+               orelse=[*run(25)]),
+            ColdPath(int(50 * scale) + 5, blocks=4),
+        ]),
+        spec("stmt_lookup", lambda: [
+            *run(20),
+            SubCall("h.hash"),
+            *run(15),
+            If("hit", then=[*run(10)], orelse=[Call("sql_parse")]),
+        ]),
+        spec("sql_parse", lambda: [
+            *run(300),
+            Loop("tokens", body=[*run(60), SubCall("h.memcmp")], size=4),
+            *run(250),
+            ColdPath(int(500 * scale) + 20, blocks=12),
+        ]),
+        spec("wal_append", lambda: [
+            *run(30),
+            Loop("chunks", body=[SubCall("h.memcpy"), *run(10)], size=3),
+            *run(25),
+            ColdPath(int(30 * scale) + 4, blocks=3),
+        ]),
+        spec("wal_flush", lambda: [
+            *run(40),
+            Loop("chunks", body=[SubCall("h.crc"), *run(8)], size=3),
+            Syscall("k.write"),
+            *run(35),
+            ColdPath(int(40 * scale) + 5, blocks=3),
+        ]),
+        spec("txn_begin", lambda: [
+            *run(60),
+            SubCall("h.latch"),
+            *run(50),
+            ColdPath(int(40 * scale) + 5, blocks=3),
+        ]),
+        spec("txn_commit", lambda: [
+            *run(50),
+            If("flushed", then=[Call("wal_flush")]),
+            Loop("nlocks", body=[*run(12)], size=3),
+            *run(40),
+            ColdPath(int(60 * scale) + 5, blocks=4),
+        ]),
+        spec("txn_abort", lambda: [
+            *run(40),
+            CallSeq(("buffer_get",)),
+            Loop("nundo", body=[*run(15)], size=3),
+            *run(30),
+            ColdPath(int(50 * scale) + 5, blocks=4),
+        ]),
+    ]
+    return specs
+
+
+def _table_specs(
+    factory: CodeFactory, rng: random.Random, table: str, indexed: bool, scale: float
+) -> List[RoutineSpec]:
+    """Specialized access-path routines for one table."""
+
+    current_owner = [""]
+
+    def run(budget: int) -> List[Node]:
+        return factory.run(max(3, int(budget * scale)), owner=current_owner[0])
+
+    def spec(base: str, body_fn) -> RoutineSpec:
+        current_owner[0] = f"{base}@{table}"
+        return RoutineSpec(
+            name=f"{base}@{table}", body=body_fn(), suffix=table,
+            prologue=rng.randint(3, 6), epilogue=rng.randint(2, 4),
+        )
+
+    specs = [
+        spec("plan_bind", lambda: [
+            *run(60),
+            SubCall("h.hash"),
+            *run(50),
+            ColdPath(int(60 * scale) + 5, blocks=4),
+        ]),
+        spec("btree_lookup", lambda: [
+            *run(25),
+            Loop("depth", body=[Call("buffer_get"), SubCall("h.bisect"), *run(15)],
+                 size=4),
+            *run(15),
+            If("found", then=[*run(10)], orelse=[*run(15)]),
+            ColdPath(int(60 * scale) + 6, blocks=4),
+        ]),
+        spec("row_fetch", lambda: [
+            *run(20),
+            Call("buffer_get"),
+            SubCall("h.memcpy"),
+            *run(80),
+            SubCall("h.decode"),
+            *run(40),
+            ColdPath(int(40 * scale) + 4, blocks=3),
+        ]),
+        spec("row_update", lambda: [
+            *run(30),
+            Call("buffer_get"),
+            SubCall("h.memcpy"),
+            *run(50),
+            Call("wal_append"),
+            *run(35),
+            Call("buffer_get"),
+            *run(25),
+            ColdPath(int(50 * scale) + 5, blocks=4),
+        ]),
+        spec("sql_scan", lambda: [
+            *run(60),
+            Call("stmt_lookup"),
+            *run(30),
+            Call("plan_bind"),
+            *run(40),
+            CallSeq(("buffer_get",)),
+            # The tight per-row aggregation loop: deliberately NOT
+            # scaled -- DSS spends its time in a tiny code footprint,
+            # which is exactly the contrast the paper draws with OLTP.
+            Loop("rows", body=[Straight(6), SubCall("h.cmp_int"), Straight(4)],
+                 size=3),
+            *run(30),
+            ColdPath(int(50 * scale) + 5, blocks=3),
+        ]),
+        spec("index_scan", lambda: [
+            *run(50),
+            Call("stmt_lookup"),
+            *run(25),
+            Call("plan_bind"),
+            *run(35),
+            CallSeq(("buffer_get",)),
+            # Tight per-row loop, unscaled (see sql_scan).
+            Loop("rows", body=[Straight(5), SubCall("h.cmp_int"), Straight(4)],
+                 size=3),
+            *run(25),
+            ColdPath(int(40 * scale) + 5, blocks=3),
+        ]),
+        spec("heap_insert", lambda: [
+            *run(35),
+            CallSeq(("buffer_get", "buffer_new")),
+            *run(30),
+            ColdPath(int(40 * scale) + 4, blocks=3),
+        ]),
+        spec("sql_select", lambda: [
+            *run(90),
+            Call("stmt_lookup"),
+            *run(40),
+            Call("plan_bind"),
+            *run(60),
+            Call("lock_acquire"),
+            If("!waited", then=[
+                *run(50),
+                Call("btree_lookup"),
+                If("ok", then=[Call("row_fetch"), *run(70)], orelse=[*run(25)]),
+            ]),
+            *run(40),
+            ColdPath(int(120 * scale) + 10, blocks=6),
+        ]),
+        spec("sql_update", lambda: [
+            *run(110),
+            Call("stmt_lookup"),
+            *run(50),
+            Call("plan_bind"),
+            *run(70),
+            Call("lock_acquire"),
+            If("!waited", then=[
+                *run(60),
+                Call("btree_lookup"),
+                If("ok", then=[
+                    Call("row_fetch"),
+                    *run(120),
+                    Call("row_update"),
+                    *run(60),
+                ], orelse=[*run(30)]),
+            ]),
+            *run(50),
+            ColdPath(int(160 * scale) + 12, blocks=8),
+        ]),
+    ]
+    current_owner[0] = f"sql_insert@{table}"
+    insert_body: List[Node] = [
+        *run(90),
+        Call("stmt_lookup"),
+        *run(45),
+        Call("plan_bind"),
+        *run(60),
+        Call("heap_insert"),
+    ]
+    if indexed:
+        insert_body += [*run(40), Call("index_insert")]
+    insert_body += [
+        If("ok", then=[
+            *run(40),
+            Call("wal_append"),
+            *run(30),
+            Call("buffer_get"),
+            *run(30),
+        ]),
+        *run(35),
+        ColdPath(int(130 * scale) + 10, blocks=6),
+    ]
+    specs.append(spec("sql_insert", lambda: insert_body))
+    if indexed:
+        specs.append(spec("index_insert", lambda: [
+            *run(40),
+            CallSeq(("buffer_get", "buffer_new")),
+            *run(35),
+            ColdPath(int(60 * scale) + 6, blocks=4),
+        ]))
+    return specs
+
+
+def _filler_specs(rng: random.Random, config: AppCodeConfig) -> List[RoutineSpec]:
+    """Cold routines that pad the static image (never executed)."""
+    if config.filler_routines <= 0:
+        return []
+    per_routine = max(10, config.filler_instructions // config.filler_routines)
+    specs = []
+    for i in range(config.filler_routines):
+        budget = max(10, int(rng.gauss(per_routine, per_routine * 0.4)))
+        body: List[Node] = []
+        remaining = budget
+        while remaining > 0:
+            size = min(remaining, rng.randint(20, 60))
+            body.append(Straight(size))
+            remaining -= size
+            if remaining > 10 and rng.random() < 0.3:
+                cold = min(remaining, rng.randint(10, 40))
+                body.append(ColdPath(cold, blocks=2))
+                remaining -= cold
+        specs.append(RoutineSpec(name=f"cold_{i:05d}", body=body))
+    return specs
+
+
+def build_app_program(config: Optional[AppCodeConfig] = None) -> CompiledProgram:
+    """Build the application binary: hot routines scattered among filler.
+
+    Link order interleaves shuffled hot routines with cold filler, the
+    situation profile-driven layout exists to fix.
+    """
+    config = config or AppCodeConfig()
+    rng = random.Random(config.seed)
+    privates: List[RoutineSpec] = []
+    factory = CodeFactory(rng, HELPERS, collector=privates)
+    protocol: List[RoutineSpec] = []
+    protocol.extend(_shared_specs(factory, config.scale))
+    for table, indexed in config.tables:
+        protocol.extend(_table_specs(factory, rng, table, indexed, config.scale))
+
+    # Group each routine with its outlined private functions (one
+    # "source module" per routine), as real compilation units do.
+    groups: List[List[RoutineSpec]] = [[s] for s in _helper_specs(rng, config.scale)]
+    for spec in protocol:
+        prefix = spec.name + ".p"
+        groups.append([spec] + [p for p in privates if p.name.startswith(prefix)])
+    filler = _filler_specs(rng, config)
+
+    order_rng = random.Random(config.seed ^ 0x5EED)
+    order_rng.shuffle(groups)
+    specs: List[RoutineSpec] = []
+    filler_iter = iter(filler)
+    per_group = max(1, len(filler) // max(1, len(groups)))
+    for group in groups:
+        specs.extend(group)
+        for _ in range(per_group):
+            nxt = next(filler_iter, None)
+            if nxt is not None:
+                specs.append(nxt)
+    specs.extend(filler_iter)
+    return build_binary(specs, name="oracle.sim")

@@ -1,0 +1,21 @@
+"""Execution-time model: platforms and the non-idle-cycle estimator."""
+
+from repro.timing.cpu import CycleBreakdown, estimate_cycles, relative_execution_time
+from repro.timing.platforms import (
+    ALPHA_21164,
+    ALPHA_21264,
+    ALPHA_21364_SIM,
+    PLATFORMS,
+    Platform,
+)
+
+__all__ = [
+    "ALPHA_21164",
+    "ALPHA_21264",
+    "ALPHA_21364_SIM",
+    "CycleBreakdown",
+    "PLATFORMS",
+    "Platform",
+    "estimate_cycles",
+    "relative_execution_time",
+]

@@ -1,0 +1,111 @@
+"""Non-idle execution-cycle estimator (the paper's Figure 15 metric).
+
+An in-order model: cycles = instructions x base CPI, plus instruction
+fetch stalls (L1I misses split into L2-hit and L2-miss refills), iTLB
+refills, and the data-side stalls.  Elapsed time is deliberately NOT
+modeled -- the paper itself switches to non-idle cycles because layout
+optimizations make the workload more I/O bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.cache.dcache import simulate_dcache
+from repro.cache.l2 import simulate_l1i_misses, simulate_l2
+from repro.cache.tlb import simulate_itlb
+from repro.timing.platforms import Platform
+
+
+@dataclass
+class CycleBreakdown:
+    """Where the cycles went."""
+
+    platform: str
+    instructions: int
+    base_cycles: float
+    icache_stall: float
+    itlb_stall: float
+    data_stall: float
+    icache_misses: int
+    l2_instr_misses: int
+    l2_data_misses: int
+    itlb_misses: int
+    dcache_misses: int
+
+    @property
+    def total_cycles(self) -> float:
+        return self.base_cycles + self.icache_stall + self.itlb_stall + self.data_stall
+
+
+def estimate_cycles(
+    instruction_streams: List[Tuple[np.ndarray, np.ndarray]],
+    platform: Platform,
+    data_streams: Optional[List[Tuple[np.ndarray, np.ndarray]]] = None,
+) -> CycleBreakdown:
+    """Estimate non-idle cycles for per-CPU instruction (and data) streams.
+
+    Args:
+        instruction_streams: (starts, counts) fetch spans per CPU.
+        platform: Machine model.
+        data_streams: Optional (addresses, positions) per CPU.
+    """
+    instructions = sum(int(c.sum()) for _, c in instruction_streams)
+
+    # L1I per CPU; collect refill streams for the L2.
+    icache_misses = 0
+    refills: List[Tuple[np.ndarray, np.ndarray]] = []
+    for starts, counts in instruction_streams:
+        addresses, positions = simulate_l1i_misses(starts, counts, platform.icache)
+        icache_misses += len(addresses)
+        refills.append((addresses, positions))
+
+    dcache_misses = 0
+    if data_streams:
+        for cpu, (addresses, positions) in enumerate(data_streams):
+            result = simulate_dcache(addresses, platform.dcache, positions)
+            dcache_misses += result.misses
+            refills[cpu] = (
+                np.concatenate([refills[cpu][0], result.miss_addresses]),
+                np.concatenate([refills[cpu][1], result.miss_positions]),
+            )
+
+    l2 = simulate_l2(refills, platform.l2)
+    tlb = simulate_itlb(instruction_streams, entries=platform.itlb_entries)
+
+    base_cycles = instructions * platform.cpi_base
+    icache_stall = (
+        icache_misses * platform.l1_miss_penalty
+        + l2.misses_instr * platform.l2_miss_penalty
+    )
+    itlb_stall = tlb.misses * platform.itlb_penalty
+    data_stall = (
+        dcache_misses * platform.l1_miss_penalty
+        + l2.misses_data * platform.l2_miss_penalty
+    )
+    return CycleBreakdown(
+        platform=platform.name,
+        instructions=instructions,
+        base_cycles=base_cycles,
+        icache_stall=icache_stall,
+        itlb_stall=itlb_stall,
+        data_stall=data_stall,
+        icache_misses=icache_misses,
+        l2_instr_misses=l2.misses_instr,
+        l2_data_misses=l2.misses_data,
+        itlb_misses=tlb.misses,
+        dcache_misses=dcache_misses,
+    )
+
+
+def relative_execution_time(
+    breakdowns: dict, baseline: str = "base"
+) -> dict:
+    """Per-combo cycles normalized to the baseline (Fig 15 y-axis, %)."""
+    base_total = breakdowns[baseline].total_cycles
+    return {
+        combo: 100.0 * b.total_cycles / base_total for combo, b in breakdowns.items()
+    }

@@ -1,0 +1,41 @@
+"""Workload drivers (TPC-B)."""
+
+from repro.workloads.dss import (
+    DssClient,
+    DssConfig,
+    DssQuery,
+    DssWorkload,
+    QUERY_MIX,
+)
+from repro.workloads.tpcb import (
+    KEY_COLUMNS,
+    SCHEMA,
+    TpcbClient,
+    TpcbWorkload,
+    TpcbConfig,
+    TpcbGenerator,
+    TpcbRequest,
+    TpcbTransaction,
+    create_schema,
+    load_database,
+    run_transactions,
+)
+
+__all__ = [
+    "DssClient",
+    "DssConfig",
+    "DssQuery",
+    "DssWorkload",
+    "QUERY_MIX",
+    "TpcbClient",
+    "TpcbWorkload",
+    "KEY_COLUMNS",
+    "SCHEMA",
+    "TpcbConfig",
+    "TpcbGenerator",
+    "TpcbRequest",
+    "TpcbTransaction",
+    "create_schema",
+    "load_database",
+    "run_transactions",
+]

@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestCli:
+    def test_info(self):
+        code, text = run_cli("info")
+        assert code == 0
+        assert "application binary" in text
+        assert "TPC-B" in text
+
+    def test_figure_single(self):
+        code, text = run_cli("figure", "fig03")
+        assert code == 0
+        assert "Figure 3" in text
+
+    def test_figure_multiple_deduplicated(self):
+        code, text = run_cli("figure", "fig03", "fig03")
+        assert code == 0
+        assert text.count("Figure 3:") == 1
+
+    def test_figure_fig13_both_binaries(self):
+        code, text = run_cli("figure", "fig13")
+        assert code == 0
+        assert "Figure 13 (base)" in text
+        assert "Figure 13 (all)" in text
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("figure", "fig99")
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli()
+
+    def test_ablation(self):
+        code, text = run_cli("ablation")
+        assert code == 0
+        assert "Figure 7" in text
+        assert "chain+porder" in text
+
+    def test_packing(self):
+        code, text = run_cli("figure", "packing")
+        assert code == 0
+        assert "128B cache lines" in text
+
+
+class TestSummaryCommand:
+    def test_summary_missing_dir(self, tmp_path):
+        code, text = run_cli("summary", "--results-dir", str(tmp_path / "none"))
+        assert code == 1
+        assert "no result tables" in text
+
+    def test_summary_concatenates(self, tmp_path):
+        (tmp_path / "a.txt").write_text("Table A\n1 2 3\n")
+        (tmp_path / "b.txt").write_text("Table B\n4 5 6\n")
+        code, text = run_cli("summary", "--results-dir", str(tmp_path))
+        assert code == 0
+        assert "==== a.txt" in text and "Table B" in text

@@ -1,0 +1,109 @@
+"""Tests for the buffer pool."""
+
+import pytest
+
+from repro.errors import BufferPoolError
+from repro.db.buffer import BufferPool
+from repro.db.storage import PageStore
+
+
+def make_pool(capacity=3):
+    store = PageStore()
+    pool = BufferPool(store, capacity=capacity)
+    ids = []
+    for _ in range(6):
+        page = pool.new_page()
+        ids.append(page.page_id)
+        pool.unpin(page.page_id, dirty=True)
+    pool.flush_all()
+    return store, pool, ids
+
+
+class TestBufferPool:
+    def test_capacity_validated(self):
+        with pytest.raises(BufferPoolError):
+            BufferPool(PageStore(), capacity=0)
+
+    def test_hit_after_fetch(self):
+        _, pool, ids = make_pool()
+        pool.fetch(ids[5])
+        pool.unpin(ids[5], dirty=False)
+        misses = pool.misses
+        pool.fetch(ids[5])
+        pool.unpin(ids[5], dirty=False)
+        assert pool.misses == misses
+        assert pool.hits >= 1
+
+    def test_lru_eviction_order(self):
+        _, pool, ids = make_pool(capacity=2)
+        # Pool currently holds the 2 most recently created pages.
+        pool.fetch(ids[0])
+        pool.unpin(ids[0], dirty=False)
+        pool.fetch(ids[1])
+        pool.unpin(ids[1], dirty=False)
+        # ids[0] is now LRU; touching ids[2] evicts it.
+        pool.fetch(ids[2])
+        pool.unpin(ids[2], dirty=False)
+        assert not pool.contains(ids[0])
+        assert pool.contains(ids[1])
+
+    def test_pinned_pages_not_evicted(self):
+        _, pool, ids = make_pool(capacity=2)
+        pool.fetch(ids[0])  # pinned
+        pool.fetch(ids[1])
+        pool.unpin(ids[1], dirty=False)
+        pool.fetch(ids[2])  # must evict ids[1], not pinned ids[0]
+        pool.unpin(ids[2], dirty=False)
+        assert pool.contains(ids[0])
+        assert not pool.contains(ids[1])
+        pool.unpin(ids[0], dirty=False)
+
+    def test_all_pinned_raises(self):
+        _, pool, ids = make_pool(capacity=2)
+        pool.fetch(ids[0])
+        pool.fetch(ids[1])
+        with pytest.raises(BufferPoolError):
+            pool.fetch(ids[2])
+
+    def test_dirty_page_written_back_on_eviction(self):
+        store, pool, ids = make_pool(capacity=2)
+        page = pool.fetch(ids[0])
+        page.insert(b"dirty data")
+        pool.unpin(ids[0], dirty=True)
+        # Force eviction of ids[0].
+        pool.fetch(ids[1])
+        pool.unpin(ids[1], dirty=False)
+        pool.fetch(ids[2])
+        pool.unpin(ids[2], dirty=False)
+        assert not pool.contains(ids[0])
+        assert store.read(ids[0]).read(0) == b"dirty data"
+
+    def test_unpin_without_pin_rejected(self):
+        _, pool, ids = make_pool()
+        with pytest.raises(BufferPoolError):
+            pool.unpin(ids[0], dirty=False)
+
+    def test_flush_all_clears_dirty(self):
+        store, pool, ids = make_pool()
+        page = pool.fetch(ids[5])
+        page.insert(b"x")
+        pool.unpin(ids[5], dirty=True)
+        assert pool.flush_all() == 1
+        assert pool.flush_all() == 0
+
+    def test_access_hook(self):
+        _, pool, ids = make_pool(capacity=2)
+        events = []
+        pool.on_access = lambda pid, hit: events.append((pid, hit))
+        pool.fetch(ids[0])
+        pool.unpin(ids[0], dirty=False)
+        pool.fetch(ids[0])
+        pool.unpin(ids[0], dirty=False)
+        assert events == [(ids[0], False), (ids[0], True)]
+
+    def test_hit_rate(self):
+        _, pool, ids = make_pool(capacity=6)
+        for _ in range(3):
+            pool.fetch(ids[0])
+            pool.unpin(ids[0], dirty=False)
+        assert 0.0 < pool.hit_rate <= 1.0

@@ -1,0 +1,157 @@
+"""Tests for slotted pages and the page store."""
+
+import pytest
+
+from repro.errors import PageError
+from repro.db.pages import HEADER_SIZE, PAGE_SIZE, Page, SLOT_SIZE
+from repro.db.storage import PageStore
+
+
+class TestPage:
+    def test_insert_and_read(self):
+        page = Page(1)
+        slot = page.insert(b"hello")
+        assert page.read(slot) == b"hello"
+
+    def test_slots_are_sequential(self):
+        page = Page(1)
+        assert [page.insert(bytes([i])) for i in range(5)] == list(range(5))
+
+    def test_free_space_decreases(self):
+        page = Page(1)
+        before = page.free_space
+        page.insert(b"x" * 100)
+        assert page.free_space == before - 100 - SLOT_SIZE
+
+    def test_overflow_rejected(self):
+        page = Page(1)
+        big = b"x" * (PAGE_SIZE - HEADER_SIZE - SLOT_SIZE + 1)
+        with pytest.raises(PageError):
+            page.insert(big)
+
+    def test_fill_to_capacity(self):
+        page = Page(1)
+        count = 0
+        while page.fits(100):
+            page.insert(b"y" * 100)
+            count += 1
+        assert count == (PAGE_SIZE - HEADER_SIZE) // (100 + SLOT_SIZE)
+        with pytest.raises(PageError):
+            page.insert(b"y" * 100)
+
+    def test_empty_record_rejected(self):
+        with pytest.raises(PageError):
+            Page(1).insert(b"")
+
+    def test_update_same_size_in_place(self):
+        page = Page(1)
+        slot = page.insert(b"aaaa")
+        free = page.free_space
+        page.update(slot, b"bbbb")
+        assert page.read(slot) == b"bbbb"
+        assert page.free_space == free
+
+    def test_update_smaller_shrinks(self):
+        page = Page(1)
+        slot = page.insert(b"aaaaaaaa")
+        page.update(slot, b"bb")
+        assert page.read(slot) == b"bb"
+
+    def test_update_larger_relocates(self):
+        page = Page(1)
+        slot = page.insert(b"aa")
+        page.update(slot, b"bbbbbbbb")
+        assert page.read(slot) == b"bbbbbbbb"
+
+    def test_delete_tombstones(self):
+        page = Page(1)
+        s0 = page.insert(b"first")
+        s1 = page.insert(b"second")
+        page.delete(s0)
+        assert page.is_deleted(s0)
+        with pytest.raises(PageError):
+            page.read(s0)
+        assert page.read(s1) == b"second"  # other RIDs stay valid
+
+    def test_double_delete_rejected(self):
+        page = Page(1)
+        slot = page.insert(b"x")
+        page.delete(slot)
+        with pytest.raises(PageError):
+            page.delete(slot)
+
+    def test_records_skips_tombstones(self):
+        page = Page(1)
+        page.insert(b"a")
+        dead = page.insert(b"b")
+        page.insert(b"c")
+        page.delete(dead)
+        assert page.records() == [b"a", b"c"]
+
+    def test_roundtrip_through_bytes(self):
+        page = Page(7)
+        page.insert(b"payload")
+        page.set_lsn(42)
+        clone = Page(7, bytearray(page.to_bytes()))
+        assert clone.read(0) == b"payload"
+        assert clone.lsn == 42
+        assert clone.checksum() == page.checksum()
+
+    def test_wrong_page_id_detected(self):
+        page = Page(7)
+        with pytest.raises(PageError):
+            Page(8, bytearray(page.to_bytes()))
+
+    def test_bad_buffer_size_rejected(self):
+        with pytest.raises(PageError):
+            Page(1, bytearray(10))
+
+    def test_bad_slot_index(self):
+        page = Page(1)
+        with pytest.raises(PageError):
+            page.read(0)
+
+
+class TestPageStore:
+    def test_allocate_assigns_increasing_ids(self):
+        store = PageStore()
+        first = store.allocate()
+        second = store.allocate()
+        assert second.page_id == first.page_id + 1
+
+    def test_write_then_read_roundtrip(self):
+        store = PageStore()
+        page = store.allocate()
+        page.insert(b"data")
+        store.write(page)
+        again = store.read(page.page_id)
+        assert again.read(0) == b"data"
+
+    def test_read_unknown_page_raises(self):
+        with pytest.raises(PageError):
+            PageStore().read(99)
+
+    def test_write_unallocated_rejected(self):
+        store = PageStore()
+        with pytest.raises(PageError):
+            store.write(Page(55))
+
+    def test_io_hooks_fire(self):
+        store = PageStore()
+        events = []
+        store.on_read = lambda pid: events.append(("r", pid))
+        store.on_write = lambda pid: events.append(("w", pid))
+        page = store.allocate()
+        store.write(page)
+        store.read(page.page_id)
+        assert events == [("w", page.page_id), ("r", page.page_id)]
+
+    def test_counters(self):
+        store = PageStore()
+        page = store.allocate()
+        store.write(page)
+        store.read(page.page_id)
+        store.read(page.page_id)
+        assert store.writes == 1
+        assert store.reads == 2
+        assert store.num_pages == 1

@@ -1,0 +1,110 @@
+"""Tests for heap files and row codecs."""
+
+import pytest
+
+from repro.errors import DatabaseError, PageError
+from repro.db.buffer import BufferPool
+from repro.db.rows import RowCodec, int_col, pad_col
+from repro.db.storage import HeapFile, PageStore
+
+
+def make_heap(capacity=32):
+    pool = BufferPool(PageStore(), capacity=capacity)
+    return HeapFile("t", pool), pool
+
+
+class TestHeapFile:
+    def test_insert_and_read(self):
+        heap, _ = make_heap()
+        rid = heap.insert(b"hello")
+        assert heap.read(rid) == b"hello"
+
+    def test_insert_uses_hint_page(self):
+        heap, _ = make_heap()
+        r1 = heap.insert(b"a" * 100)
+        r2 = heap.insert(b"b" * 100)
+        assert r1[0] == r2[0]
+        assert r2[1] == r1[1] + 1
+
+    def test_insert_rolls_to_new_page_when_full(self):
+        heap, _ = make_heap()
+        first = heap.insert(b"x" * 4000)
+        second = heap.insert(b"y" * 4000)
+        third = heap.insert(b"z" * 4000)  # does not fit page 1
+        assert first[0] == second[0]
+        assert third[0] != first[0]
+
+    def test_update(self):
+        heap, _ = make_heap()
+        rid = heap.insert(b"aaaa")
+        heap.update(rid, b"bbbb")
+        assert heap.read(rid) == b"bbbb"
+
+    def test_delete(self):
+        heap, _ = make_heap()
+        rid = heap.insert(b"dead")
+        heap.delete(rid)
+        with pytest.raises(PageError):
+            heap.read(rid)
+
+    def test_scan_in_order(self):
+        heap, _ = make_heap()
+        payloads = [bytes([65 + i]) * 10 for i in range(20)]
+        rids = [heap.insert(p) for p in payloads]
+        scanned = list(heap.scan())
+        assert [r for r, _ in scanned] == rids
+        assert [p for _, p in scanned] == payloads
+
+    def test_scan_skips_deleted(self):
+        heap, _ = make_heap()
+        keep = heap.insert(b"keep")
+        kill = heap.insert(b"kill")
+        heap.delete(kill)
+        assert [p for _, p in heap.scan()] == [b"keep"]
+        assert heap.num_records == 1
+
+    def test_pins_released(self):
+        heap, pool = make_heap(capacity=2)
+        # With capacity 2, leaked pins would exhaust the pool quickly.
+        for i in range(50):
+            heap.insert(bytes([i % 250 + 1]) * 500)
+        assert heap.num_records == 50
+
+
+class TestRowCodec:
+    def make_codec(self):
+        return RowCodec("t", [int_col("id"), int_col("v"), pad_col("fill", 10)])
+
+    def test_roundtrip(self):
+        codec = self.make_codec()
+        row = {"id": 7, "v": -12345}
+        assert codec.decode(codec.encode(row)) == row
+
+    def test_row_size_fixed(self):
+        codec = self.make_codec()
+        assert codec.row_size == 8 + 8 + 10
+        assert len(codec.encode({"id": 1, "v": 2})) == codec.row_size
+
+    def test_missing_column_rejected(self):
+        codec = self.make_codec()
+        with pytest.raises(DatabaseError):
+            codec.encode({"id": 1})
+
+    def test_bad_bytes_rejected(self):
+        codec = self.make_codec()
+        with pytest.raises(DatabaseError):
+            codec.decode(b"short")
+
+    def test_unknown_kind_rejected(self):
+        from repro.db.rows import Column
+
+        with pytest.raises(DatabaseError):
+            RowCodec("t", [Column("x", "float", 8)])
+
+    def test_int_columns(self):
+        assert self.make_codec().int_columns == ["id", "v"]
+
+    def test_negative_and_large_values(self):
+        codec = self.make_codec()
+        row = {"id": -(2**62), "v": 2**62}
+        assert codec.decode(codec.encode(row)) == row

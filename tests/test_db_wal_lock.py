@@ -1,0 +1,165 @@
+"""Tests for the WAL (including crash recovery) and the lock manager."""
+
+import pytest
+
+from repro.errors import DeadlockError
+from repro.db.lock import LockManager, LockMode
+from repro.db.storage import PageStore
+from repro.db.wal import LogKind, LogManager, replay
+
+
+class TestLogManager:
+    def test_lsns_increase(self):
+        log = LogManager()
+        first = log.append(1, LogKind.BEGIN)
+        second = log.append(1, LogKind.COMMIT)
+        assert second == first + 1
+
+    def test_flush_hardens_tail(self):
+        log = LogManager()
+        lsn = log.append(1, LogKind.BEGIN)
+        assert not log.is_hardened(lsn)
+        log.flush()
+        assert log.is_hardened(lsn)
+
+    def test_flush_empty_is_noop(self):
+        log = LogManager()
+        assert log.flush() == 0
+        assert log.flushes == 0
+
+    def test_group_commit_batches(self):
+        log = LogManager()
+        log.append(1, LogKind.COMMIT)
+        log.append(2, LogKind.COMMIT)
+        log.append(3, LogKind.COMMIT)
+        log.flush()
+        assert log.group_sizes == [3]
+
+    def test_flush_hook_reports_bytes(self):
+        log = LogManager()
+        seen = []
+        log.on_flush = seen.append
+        log.append(1, LogKind.UPDATE, table="t", rid=(1, 0),
+                   before=b"a" * 10, after=b"b" * 10)
+        log.flush()
+        assert seen == [52]  # 32 header + 20 images
+
+
+class TestRecovery:
+    def test_committed_update_redone(self):
+        store = PageStore()
+        page = store.allocate()
+        page.insert(b"old-value")
+        store.write(page)
+        log = LogManager()
+        log.append(1, LogKind.BEGIN)
+        log.append(1, LogKind.UPDATE, table="t", rid=(page.page_id, 0),
+                   before=b"old-value", after=b"new-value")
+        log.append(1, LogKind.COMMIT)
+        log.flush()
+        # Crash: the dirty page never reached the store.  Recover.
+        winners, applied = replay(log.hardened_records(), store)
+        assert (winners, applied) == (1, 1)
+        assert store.read(page.page_id).read(0) == b"new-value"
+
+    def test_uncommitted_txn_ignored(self):
+        store = PageStore()
+        page = store.allocate()
+        page.insert(b"old-value")
+        store.write(page)
+        log = LogManager()
+        log.append(1, LogKind.BEGIN)
+        log.append(1, LogKind.UPDATE, table="t", rid=(page.page_id, 0),
+                   before=b"old-value", after=b"new-value")
+        log.flush()  # no COMMIT hardened
+        winners, applied = replay(log.hardened_records(), store)
+        assert (winners, applied) == (0, 0)
+        assert store.read(page.page_id).read(0) == b"old-value"
+
+    def test_committed_insert_redone_idempotently(self):
+        store = PageStore()
+        page = store.allocate()
+        store.write(page)
+        log = LogManager()
+        log.append(2, LogKind.INSERT, table="t", rid=(page.page_id, 0),
+                   after=b"row-bytes")
+        log.append(2, LogKind.COMMIT)
+        log.flush()
+        replay(log.hardened_records(), store)
+        assert store.read(page.page_id).read(0) == b"row-bytes"
+        # Replaying again must not duplicate the row.
+        _, applied = replay(log.hardened_records(), store)
+        assert applied == 0
+
+
+class TestLockManager:
+    def test_exclusive_grant_and_conflict(self):
+        locks = LockManager()
+        assert locks.try_acquire(1, "r", LockMode.EXCLUSIVE)
+        assert not locks.try_acquire(2, "r", LockMode.EXCLUSIVE)
+        assert locks.queue_length("r") == 1
+
+    def test_shared_locks_compatible(self):
+        locks = LockManager()
+        assert locks.try_acquire(1, "r", LockMode.SHARED)
+        assert locks.try_acquire(2, "r", LockMode.SHARED)
+
+    def test_reentrant_acquire(self):
+        locks = LockManager()
+        assert locks.try_acquire(1, "r", LockMode.EXCLUSIVE)
+        assert locks.try_acquire(1, "r", LockMode.EXCLUSIVE)
+        assert locks.try_acquire(1, "r", LockMode.SHARED)  # weaker ok
+
+    def test_upgrade_when_sole_holder(self):
+        locks = LockManager()
+        assert locks.try_acquire(1, "r", LockMode.SHARED)
+        assert locks.try_acquire(1, "r", LockMode.EXCLUSIVE)
+        assert locks.holds(1, "r") is LockMode.EXCLUSIVE
+
+    def test_release_wakes_fifo(self):
+        locks = LockManager()
+        locks.try_acquire(1, "r", LockMode.EXCLUSIVE)
+        assert not locks.try_acquire(2, "r", LockMode.EXCLUSIVE)
+        assert not locks.try_acquire(3, "r", LockMode.EXCLUSIVE)
+        woken = locks.release_all(1)
+        assert woken == [2]
+        assert locks.holds(2, "r") is LockMode.EXCLUSIVE
+        woken = locks.release_all(2)
+        assert woken == [3]
+
+    def test_release_wakes_shared_batch(self):
+        locks = LockManager()
+        locks.try_acquire(1, "r", LockMode.EXCLUSIVE)
+        locks.try_acquire(2, "r", LockMode.SHARED)
+        locks.try_acquire(3, "r", LockMode.SHARED)
+        woken = locks.release_all(1)
+        assert sorted(woken) == [2, 3]
+
+    def test_deadlock_detected(self):
+        locks = LockManager()
+        locks.try_acquire(1, "a", LockMode.EXCLUSIVE)
+        locks.try_acquire(2, "b", LockMode.EXCLUSIVE)
+        assert not locks.try_acquire(1, "b", LockMode.EXCLUSIVE)  # 1 waits on 2
+        with pytest.raises(DeadlockError):
+            locks.try_acquire(2, "a", LockMode.EXCLUSIVE)  # closes the cycle
+        assert locks.deadlocks == 1
+
+    def test_no_false_deadlock_on_chain(self):
+        locks = LockManager()
+        locks.try_acquire(1, "a", LockMode.EXCLUSIVE)
+        assert not locks.try_acquire(2, "a", LockMode.EXCLUSIVE)
+        assert not locks.try_acquire(3, "a", LockMode.EXCLUSIVE)  # chain, no cycle
+
+    def test_cancel_waits(self):
+        locks = LockManager()
+        locks.try_acquire(1, "r", LockMode.EXCLUSIVE)
+        locks.try_acquire(2, "r", LockMode.EXCLUSIVE)
+        locks.cancel_waits(2)
+        assert locks.queue_length("r") == 0
+
+    def test_queued_request_does_not_requeue(self):
+        locks = LockManager()
+        locks.try_acquire(1, "r", LockMode.EXCLUSIVE)
+        locks.try_acquire(2, "r", LockMode.EXCLUSIVE)
+        locks.try_acquire(2, "r", LockMode.EXCLUSIVE)  # retry while parked
+        assert locks.queue_length("r") == 1

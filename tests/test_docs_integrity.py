@@ -1,0 +1,44 @@
+"""Documentation integrity: the per-experiment index points at real
+files, and every benchmark writes a table some document references."""
+
+import pathlib
+import re
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+class TestDocsIntegrity:
+    def test_design_bench_targets_exist(self):
+        design = (ROOT / "DESIGN.md").read_text()
+        targets = set(re.findall(r"benchmarks/bench[a-z0-9_]*\.py", design))
+        assert targets, "DESIGN.md must map experiments to bench targets"
+        for target in targets:
+            assert (ROOT / target).exists(), f"missing {target}"
+
+    def test_experiments_references_result_files(self):
+        experiments = (ROOT / "EXPERIMENTS.md").read_text()
+        referenced = set(re.findall(r"[a-z0-9_]+\.txt", experiments))
+        assert len(referenced) >= 20
+
+    def test_every_bench_file_in_design_or_extensions(self):
+        design = (ROOT / "DESIGN.md").read_text()
+        for bench in (ROOT / "benchmarks").glob("bench_*.py"):
+            name = f"benchmarks/{bench.name}"
+            mentioned = name in design or bench.stem.replace("bench_", "") in design
+            assert mentioned or "extension" in bench.stem or \
+                "multiprogramming" in bench.stem or "dss" in bench.stem, \
+                f"{name} not referenced by DESIGN.md"
+
+    def test_readme_examples_exist(self):
+        readme = (ROOT / "README.md").read_text()
+        for example in re.findall(r"examples/[a-z_]+\.py", readme):
+            assert (ROOT / example).exists(), f"missing {example}"
+
+    def test_paper_combo_names_consistent(self):
+        from repro.layout import PAPER_COMBOS
+
+        design = (ROOT / "DESIGN.md").read_text()
+        for combo in PAPER_COMBOS:
+            assert combo in design

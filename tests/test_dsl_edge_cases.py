@@ -1,0 +1,136 @@
+"""Edge cases of the DSL compiler, walker and instrumentation."""
+
+import pytest
+
+from repro.db.instrument import CallEvent, CallTrace, NullTrace
+from repro.errors import SimulationError
+from repro.execution import CfgWalker
+from repro.ir import Terminator
+from repro.progen import (
+    Call,
+    CallSeq,
+    Loop,
+    RoutineSpec,
+    Straight,
+    build_binary,
+)
+
+
+def make_walker(app_specs):
+    app = build_binary(app_specs, "app")
+    kernel = build_binary([RoutineSpec("k.x", body=[Straight(1)])], "kern")
+    return CfgWalker(app, kernel)
+
+
+def event(name, children=(), **bindings):
+    ev = CallEvent(name, dict(bindings))
+    ev.bindings.setdefault("salt", 1)
+    ev.children = list(children)
+    return ev
+
+
+class TestCallSeqArities:
+    def test_single_match_has_no_dispatch(self):
+        callee = RoutineSpec("a", body=[Straight(1)])
+        node = CallSeq(("a",))
+        walker = make_walker([RoutineSpec("r", body=[node]), callee])
+        header = walker.app.binary.block(node.bid)
+        # Header falls straight into the call block (no dispatch cmp).
+        call_block = walker.app.binary.block(getattr(node, "_call_0"))
+        assert header.fallthrough == call_block.bid
+        out = walker.expand(
+            [event("r", children=[event("a"), event("a")])]
+        ).tolist()
+        assert out.count(call_block.bid) == 2
+
+    def test_three_matches_dispatch_chain(self):
+        specs = [RoutineSpec(n, body=[Straight(1)]) for n in ("a", "b", "c")]
+        node = CallSeq(("a", "b", "c"))
+        walker = make_walker([RoutineSpec("r", body=[node])] + specs)
+        out = walker.expand(
+            [event("r", children=[event("c"), event("a"), event("b")])]
+        ).tolist()
+        # Reaching arm c executes both dispatch compares.
+        d0 = getattr(node, "_dispatch_0")
+        d1 = getattr(node, "_dispatch_1")
+        assert out.count(d0) == 3   # every iteration tests arm 0
+        assert out.count(d1) == 2   # arms b and c go further
+
+    def test_empty_run_emits_exit_test_only(self):
+        callee = RoutineSpec("a", body=[Straight(1)])
+        tail = RoutineSpec("t", body=[Straight(1)])
+        node = CallSeq(("a",))
+        walker = make_walker(
+            [RoutineSpec("r", body=[node, Call("t")]), callee, tail]
+        )
+        out = walker.expand([event("r", children=[event("t")])]).tolist()
+        assert out.count(node.bid) == 1
+        assert node.latch_bid not in out
+
+
+class TestLoopMinus:
+    def test_minus_subtracts(self):
+        body = Straight(2)
+        loop = Loop("depth", body=[body], minus=1)
+        walker = make_walker([RoutineSpec("r", body=[loop])])
+        out = walker.expand([event("r", depth=3)]).tolist()
+        assert out.count(body.bid) == 2
+
+    def test_minus_floors_at_zero(self):
+        body = Straight(2)
+        loop = Loop("depth", body=[body], minus=5)
+        walker = make_walker([RoutineSpec("r", body=[loop])])
+        out = walker.expand([event("r", depth=3)]).tolist()
+        assert body.bid not in out
+
+
+class TestCallTrace:
+    def test_take_inside_open_op_rejected(self):
+        trace = CallTrace()
+        with pytest.raises(RuntimeError):
+            with trace.op("x"):
+                trace.take()
+
+    def test_salt_autobinds_and_varies(self):
+        trace = CallTrace()
+        with trace.op("a"):
+            pass
+        with trace.op("b"):
+            pass
+        events = trace.take()
+        assert events[0].bindings["salt"] != events[1].bindings["salt"]
+
+    def test_explicit_salt_kept(self):
+        trace = CallTrace()
+        with trace.op("a", salt=42):
+            pass
+        assert trace.take()[0].bindings["salt"] == 42
+
+    def test_find_descends(self):
+        trace = CallTrace()
+        with trace.op("outer"):
+            with trace.op("inner"):
+                trace.leaf("leafy")
+        outer = trace.take()[0]
+        assert [e.name for e in outer.find("leafy")] == ["leafy"]
+
+    def test_null_trace_is_noop(self):
+        trace = NullTrace()
+        with trace.op("anything", x=1) as ev:
+            ev.bind(y=2)
+        assert trace.take() == []
+
+
+class TestWalkerMisc:
+    def test_unknown_routine_raises(self):
+        walker = make_walker([RoutineSpec("r", body=[Straight(1)])])
+        from repro.errors import IRError
+
+        with pytest.raises(IRError):
+            walker.expand([event("ghost")])
+
+    def test_total_blocks(self):
+        walker = make_walker([RoutineSpec("r", body=[Straight(1)])])
+        assert walker.total_blocks == (
+            walker.app.binary.num_blocks + walker.kernel.binary.num_blocks
+        )

@@ -1,0 +1,34 @@
+"""Smoke tests: the fast example scripts run cleanly end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=300,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "miss reduction" in result.stdout
+
+    def test_custom_program_layout(self):
+        result = run_example("custom_program_layout.py")
+        assert result.returncode == 0, result.stderr
+        assert "compiled Binary" in result.stdout
+
+    def test_tpcb_database_demo(self):
+        result = run_example("tpcb_database_demo.py")
+        assert result.returncode == 0, result.stderr
+        assert "balance conservation holds" in result.stdout
+        assert "crash recovery" in result.stdout

@@ -1,0 +1,150 @@
+"""Unit tests for IR blocks, procedures and binaries."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import BasicBlock, Binary, Procedure, Terminator
+
+
+def make_simple_proc(name="p"):
+    proc = Procedure(name)
+    proc.add_block("entry", 4, Terminator.COND_BRANCH, succs=("exit", "body"))
+    proc.add_block("body", 6, Terminator.FALLTHROUGH, succs=("exit",))
+    proc.add_block("exit", 2, Terminator.RETURN)
+    return proc
+
+
+class TestBasicBlock:
+    def test_size_must_be_positive(self):
+        with pytest.raises(IRError):
+            BasicBlock(label="b", size=0)
+
+    def test_call_requires_target(self):
+        with pytest.raises(IRError):
+            BasicBlock(label="b", size=1, terminator=Terminator.CALL)
+
+    def test_non_call_rejects_target(self):
+        with pytest.raises(IRError):
+            BasicBlock(label="b", size=1, call_target="f")
+
+    def test_taken_fallthrough_accessors(self):
+        blk = BasicBlock(
+            label="b", size=2, terminator=Terminator.COND_BRANCH, succs=(7, 9)
+        )
+        assert blk.taken == 7
+        assert blk.fallthrough == 9
+
+    def test_taken_on_non_cond_raises(self):
+        blk = BasicBlock(label="b", size=2)
+        with pytest.raises(IRError):
+            _ = blk.taken
+
+    def test_validate_arity(self):
+        blk = BasicBlock(
+            label="b", size=1, terminator=Terminator.COND_BRANCH, succs=(1,)
+        )
+        with pytest.raises(IRError):
+            blk.validate()
+
+    def test_return_takes_no_succs(self):
+        blk = BasicBlock(
+            label="b", size=1, terminator=Terminator.RETURN, succs=(1,)
+        )
+        with pytest.raises(IRError):
+            blk.validate()
+
+
+class TestProcedure:
+    def test_duplicate_label_rejected(self):
+        proc = Procedure("p")
+        proc.add_block("a", 1)
+        with pytest.raises(IRError):
+            proc.add_block("a", 1)
+
+    def test_entry_is_first_block(self):
+        proc = make_simple_proc()
+        assert proc.entry.label == "entry"
+
+    def test_entry_of_empty_proc_raises(self):
+        with pytest.raises(IRError):
+            _ = Procedure("p").entry
+
+    def test_size_sums_blocks(self):
+        assert make_simple_proc().size == 12
+
+    def test_unknown_successor_detected_at_seal(self):
+        binary = Binary()
+        proc = Procedure("p")
+        proc.add_block("a", 1, Terminator.UNCOND_BRANCH, succs=("missing",))
+        binary.add_procedure(proc)
+        with pytest.raises(IRError):
+            binary.seal()
+
+    def test_block_lookup(self):
+        proc = make_simple_proc()
+        assert proc.block("body").size == 6
+        with pytest.raises(IRError):
+            proc.block("nope")
+
+
+class TestBinary:
+    def test_dense_global_ids(self):
+        binary = Binary()
+        binary.add_procedure(make_simple_proc("p1"))
+        binary.add_procedure(make_simple_proc("p2"))
+        binary.seal()
+        assert [b.bid for b in binary.blocks()] == list(range(6))
+        assert binary.num_blocks == 6
+        assert binary.num_procedures == 2
+
+    def test_successors_resolved_to_global_ids(self):
+        binary = Binary()
+        binary.add_procedure(make_simple_proc("p1"))
+        binary.add_procedure(make_simple_proc("p2"))
+        binary.seal()
+        p2_entry = binary.proc("p2").entry
+        # p2's entry branches to p2's own exit (bid 5) and body (bid 4).
+        assert p2_entry.succs == (5, 4)
+
+    def test_duplicate_procedure_rejected(self):
+        binary = Binary()
+        binary.add_procedure(make_simple_proc("p"))
+        with pytest.raises(IRError):
+            binary.add_procedure(make_simple_proc("p"))
+
+    def test_call_target_must_exist(self):
+        binary = Binary()
+        proc = Procedure("caller")
+        proc.add_block("c", 2, Terminator.CALL, succs=("r",), call_target="ghost")
+        proc.add_block("r", 1, Terminator.RETURN)
+        binary.add_procedure(proc)
+        with pytest.raises(IRError):
+            binary.seal()
+
+    def test_static_size(self):
+        binary = Binary()
+        binary.add_procedure(make_simple_proc("p1"))
+        binary.seal()
+        assert binary.static_size == 12
+
+    def test_owner_of(self):
+        binary = Binary()
+        binary.add_procedure(make_simple_proc("p1"))
+        binary.seal()
+        assert binary.owner_of(0) == "p1"
+
+    def test_sealed_binary_rejects_new_procs(self):
+        binary = Binary()
+        binary.add_procedure(make_simple_proc("p1"))
+        binary.seal()
+        with pytest.raises(IRError):
+            binary.add_procedure(make_simple_proc("p2"))
+
+    def test_unknown_lookups_raise(self):
+        binary = Binary()
+        binary.add_procedure(make_simple_proc("p1"))
+        binary.seal()
+        with pytest.raises(IRError):
+            binary.proc("zzz")
+        with pytest.raises(IRError):
+            binary.block(99)

@@ -1,0 +1,154 @@
+"""Tests for basic block chaining, including the paper's Figure 1a example."""
+
+import numpy as np
+import pytest
+
+from repro.ir import (
+    Binary,
+    Procedure,
+    Terminator,
+    flow_graph_from_block_counts,
+    flow_graph_from_edge_counts,
+)
+from repro.layout import chain_blocks
+
+
+def figure_1a_binary():
+    """The paper's Figure 1a CFG (reconstructed).
+
+    A1(10) -> A2(10) -> A3(10) -%60/40%-> A4(6) / A5(4)
+    A4 -> A7;  A5 -%60/40%-> A6(2.4) / A7(1.6);  A6 -> A8; A7(7.6) -> A8(10)
+    Source order: A1..A8.
+    """
+    binary = Binary()
+    proc = Procedure("fig1a")
+    proc.add_block("A1", 4, Terminator.FALLTHROUGH, succs=("A2",))
+    proc.add_block("A2", 3, Terminator.FALLTHROUGH, succs=("A3",))
+    proc.add_block("A3", 2, Terminator.COND_BRANCH, succs=("A5", "A4"))
+    proc.add_block("A4", 5, Terminator.UNCOND_BRANCH, succs=("A7",))
+    proc.add_block("A5", 3, Terminator.COND_BRANCH, succs=("A7", "A6"))
+    proc.add_block("A6", 2, Terminator.FALLTHROUGH, succs=("A8",))
+    proc.add_block("A7", 4, Terminator.FALLTHROUGH, succs=("A8",))
+    proc.add_block("A8", 3, Terminator.RETURN)
+    binary.add_procedure(proc)
+    binary.seal()
+    return binary
+
+
+FIG1A_COUNTS = {
+    "A1": 100, "A2": 100, "A3": 100, "A4": 60,
+    "A5": 40, "A6": 24, "A7": 76, "A8": 100,
+}
+
+FIG1A_EDGES = {
+    ("A1", "A2"): 100,
+    ("A2", "A3"): 100,
+    ("A3", "A4"): 60,
+    ("A3", "A5"): 40,
+    ("A4", "A7"): 60,
+    ("A5", "A6"): 24,
+    ("A5", "A7"): 16,
+    ("A6", "A8"): 24,
+    ("A7", "A8"): 76,
+}
+
+
+def fig1a_profile_arrays(binary):
+    proc = binary.proc("fig1a")
+    counts = np.zeros(binary.num_blocks, dtype=np.int64)
+    for label, count in FIG1A_COUNTS.items():
+        counts[proc.block(label).bid] = count
+    edges = {
+        (proc.block(s).bid, proc.block(d).bid): c
+        for (s, d), c in FIG1A_EDGES.items()
+    }
+    return counts, edges
+
+
+class TestFigure1aGolden:
+    def test_hot_path_is_straightened(self):
+        binary = figure_1a_binary()
+        proc = binary.proc("fig1a")
+        counts, edges = fig1a_profile_arrays(binary)
+        graph = flow_graph_from_edge_counts(proc, edges)
+        result = chain_blocks(proc, graph, counts)
+        labels = [binary.block(b).label for b in result.block_order]
+        # Greedy: A1-A2-A3-A4-A7-A8 becomes the entry chain (hot path
+        # falls through); the cold A5-A6 chain is placed after.
+        assert labels == ["A1", "A2", "A3", "A4", "A7", "A8", "A5", "A6"]
+
+    def test_entry_chain_always_first_even_if_cold(self):
+        binary = figure_1a_binary()
+        proc = binary.proc("fig1a")
+        counts, edges = fig1a_profile_arrays(binary)
+        # Make the entry block cold: chains still start with A1's chain.
+        counts[proc.block("A1").bid] = 0
+        edges[(proc.block("A1").bid, proc.block("A2").bid)] = 0
+        graph = flow_graph_from_edge_counts(proc, edges)
+        result = chain_blocks(proc, graph, counts)
+        assert result.block_order[0] == proc.block("A1").bid
+
+    def test_block_count_estimator_gives_same_chains_here(self):
+        binary = figure_1a_binary()
+        proc = binary.proc("fig1a")
+        counts, _ = fig1a_profile_arrays(binary)
+        graph = flow_graph_from_block_counts(proc, counts)
+        result = chain_blocks(proc, graph, counts)
+        labels = [binary.block(b).label for b in result.block_order]
+        assert labels == ["A1", "A2", "A3", "A4", "A7", "A8", "A5", "A6"]
+
+
+class TestChainingProperties:
+    def test_every_block_placed_exactly_once(self):
+        binary = figure_1a_binary()
+        proc = binary.proc("fig1a")
+        counts, edges = fig1a_profile_arrays(binary)
+        result = chain_blocks(proc, flow_graph_from_edge_counts(proc, edges), counts)
+        assert sorted(result.block_order) == sorted(proc.block_ids())
+
+    def test_zero_profile_preserves_source_order(self):
+        binary = figure_1a_binary()
+        proc = binary.proc("fig1a")
+        counts = np.zeros(binary.num_blocks, dtype=np.int64)
+        graph = flow_graph_from_block_counts(proc, counts)
+        result = chain_blocks(proc, graph, counts)
+        assert result.block_order == proc.block_ids()
+
+    def test_no_cycle_in_chains(self):
+        # A tight loop: header -> body -> header must not close a cycle.
+        binary = Binary()
+        proc = Procedure("loop")
+        proc.add_block("head", 2, Terminator.COND_BRANCH, succs=("exit", "body"))
+        proc.add_block("body", 5, Terminator.UNCOND_BRANCH, succs=("head",))
+        proc.add_block("exit", 1, Terminator.RETURN)
+        binary.add_procedure(proc)
+        binary.seal()
+        counts = np.array([100, 99, 1], dtype=np.int64)
+        edges = {(0, 1): 99, (1, 0): 99, (0, 2): 1}
+        graph = flow_graph_from_edge_counts(proc, edges)
+        result = chain_blocks(proc, graph, counts)
+        assert sorted(result.block_order) == [0, 1, 2]
+        # head chains to body (or body to head), never both.
+        assert len(result.chains) >= 2
+
+    def test_chains_ordered_by_first_block_heat(self):
+        binary = Binary()
+        proc = Procedure("p")
+        proc.add_block("e", 1, Terminator.INDIRECT_JUMP, succs=("h", "w", "c"))
+        proc.add_block("c", 1, Terminator.RETURN)   # cold
+        proc.add_block("h", 1, Terminator.RETURN)   # hottest
+        proc.add_block("w", 1, Terminator.RETURN)   # warm
+        binary.add_procedure(proc)
+        binary.seal()
+        counts = np.zeros(4, dtype=np.int64)
+        proc_blocks = {b.label: b.bid for b in proc.blocks}
+        counts[proc_blocks["e"]] = 100
+        counts[proc_blocks["h"]] = 70
+        counts[proc_blocks["w"]] = 25
+        counts[proc_blocks["c"]] = 5
+        # No chainable edges (indirect fan-out to 3 targets shares one
+        # source): all blocks stay singleton chains.
+        graph = flow_graph_from_edge_counts(proc, {})
+        result = chain_blocks(proc, graph, counts)
+        labels = [binary.block(c[0]).label for c in result.chains]
+        assert labels == ["e", "h", "w", "c"]

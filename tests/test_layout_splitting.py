@@ -1,0 +1,171 @@
+"""Tests for fine-grain splitting, hot/cold splitting, and CFA layout."""
+
+import numpy as np
+import pytest
+
+from repro.ir import Binary, Procedure, Terminator, assign_addresses, Layout
+from repro.layout import (
+    cfa_layout,
+    chain_blocks,
+    split_chains,
+    split_hot_cold,
+    split_procedure_source_order,
+)
+from repro.ir import flow_graph_from_edge_counts
+
+
+def segmented_binary():
+    """Procedure with an obvious segment structure:
+
+        a(3) cond -> (c | b); b(4) uncond -> d; c(2) return; d(5) return
+    """
+    binary = Binary()
+    proc = Procedure("p")
+    proc.add_block("a", 3, Terminator.COND_BRANCH, succs=("c", "b"))
+    proc.add_block("b", 4, Terminator.UNCOND_BRANCH, succs=("d",))
+    proc.add_block("c", 2, Terminator.RETURN)
+    proc.add_block("d", 5, Terminator.RETURN)
+    binary.add_procedure(proc)
+    binary.seal()
+    return binary
+
+
+class TestSourceOrderSplitting:
+    def test_segments_end_at_uncond_and_return(self):
+        binary = segmented_binary()
+        units = split_procedure_source_order(binary, "p")
+        labels = [
+            [binary.block(b).label for b in u.block_ids] for u in units
+        ]
+        assert labels == [["a", "b"], ["c"], ["d"]]
+
+    def test_exactly_one_entry_unit(self):
+        binary = segmented_binary()
+        units = split_procedure_source_order(binary, "p")
+        assert [u.is_entry for u in units] == [True, False, False]
+
+    def test_trailing_open_segment_is_flushed(self):
+        binary = Binary()
+        proc = Procedure("p")
+        proc.add_block("a", 1, Terminator.RETURN)
+        proc.add_block("b", 2, Terminator.FALLTHROUGH, succs=("c",))
+        proc.add_block("c", 2, Terminator.COND_BRANCH, succs=("b", "c"))
+        binary.add_procedure(proc)
+        binary.seal()
+        units = split_procedure_source_order(binary, "p")
+        assert len(units) == 2
+        assert len(units[1].block_ids) == 2
+
+
+class TestChainedSplitting:
+    def test_segments_respect_chain_boundaries(self):
+        binary = segmented_binary()
+        proc = binary.proc("p")
+        counts = np.array([100, 90, 10, 90], dtype=np.int64)
+        edges = {
+            (proc.block("a").bid, proc.block("b").bid): 90,
+            (proc.block("a").bid, proc.block("c").bid): 10,
+            (proc.block("b").bid, proc.block("d").bid): 90,
+        }
+        chaining = chain_blocks(proc, flow_graph_from_edge_counts(proc, edges), counts)
+        units = split_chains(binary, chaining)
+        labels = [
+            [binary.block(b).label for b in u.block_ids] for u in units
+        ]
+        # Hot chain a-b-d: segment breaks after b? No: b's uncond target
+        # d is chained right after it, so the chain is a,b,d; b ends a
+        # segment (uncond terminator) -> segments [a,b], [d], [c].
+        assert labels == [["a", "b"], ["d"], ["c"]]
+
+    def test_all_blocks_covered_once(self):
+        binary = segmented_binary()
+        proc = binary.proc("p")
+        counts = np.ones(4, dtype=np.int64)
+        chaining = chain_blocks(
+            proc, flow_graph_from_edge_counts(proc, {}), counts
+        )
+        units = split_chains(binary, chaining)
+        covered = [b for u in units for b in u.block_ids]
+        assert sorted(covered) == sorted(proc.block_ids())
+
+
+class TestHotColdSplitting:
+    def test_unexecuted_blocks_go_cold(self):
+        binary = segmented_binary()
+        counts = np.array([100, 0, 100, 0], dtype=np.int64)
+        units = split_hot_cold(binary, "p", counts)
+        by_name = {u.name: u for u in units}
+        hot_labels = {binary.block(b).label for b in by_name["p.hot"].block_ids}
+        cold_labels = {binary.block(b).label for b in by_name["p.cold"].block_ids}
+        assert hot_labels == {"a", "c"}
+        assert cold_labels == {"b", "d"}
+
+    def test_entry_forced_hot(self):
+        binary = segmented_binary()
+        counts = np.zeros(4, dtype=np.int64)
+        units = split_hot_cold(binary, "p", counts)
+        entry = binary.proc("p").entry.bid
+        assert entry in units[0].block_ids
+        assert units[0].is_entry
+
+    def test_fully_hot_proc_has_no_cold_unit(self):
+        binary = segmented_binary()
+        counts = np.array([10, 10, 10, 10], dtype=np.int64)
+        units = split_hot_cold(binary, "p", counts)
+        assert [u.name for u in units] == ["p.hot"]
+
+
+class TestCfaLayout:
+    def make_units(self, binary):
+        return split_procedure_source_order(binary, "p")
+
+    def test_hot_units_fill_reserved_area_first(self):
+        binary = segmented_binary()
+        counts = np.array([100, 100, 0, 100], dtype=np.int64)
+        units = self.make_units(binary)
+        layout, report = cfa_layout(
+            binary, units, counts, cache_bytes=256, reserved_fraction=0.5
+        )
+        assert report.reserved_bytes == 128
+        assert report.hot_units >= 1
+        amap = assign_addresses(binary, layout)
+        # The hottest unit starts at address 0.
+        first = layout.units[0]
+        assert amap.unit_starts[first.name] == 0
+
+    def test_cold_code_avoids_reserved_sets(self):
+        binary = segmented_binary()
+        counts = np.array([100, 100, 0, 100], dtype=np.int64)
+        units = self.make_units(binary)
+        cache = 256
+        layout, report = cfa_layout(
+            binary, units, counts, cache_bytes=cache, reserved_fraction=0.5,
+            alignment=8,
+        )
+        amap = assign_addresses(binary, layout)
+        hot_names = {u.name for u in layout.units[: report.hot_units]}
+        for unit in layout.units:
+            if unit.name in hot_names:
+                continue
+            start = amap.unit_starts[unit.name]
+            assert start % cache >= report.reserved_bytes
+
+    def test_overflow_reported_when_hot_code_too_big(self):
+        binary = segmented_binary()
+        counts = np.array([100, 100, 100, 100], dtype=np.int64)
+        units = self.make_units(binary)
+        # Reserve only 4 bytes: nothing fits, everything overflows.
+        layout, report = cfa_layout(
+            binary, units, counts, cache_bytes=64, reserved_fraction=0.0625
+        )
+        assert report.hot_units == 0
+        assert report.hot_overflow_bytes == sum(
+            binary.block(b).size for u in units for b in u.block_ids
+        ) * 4
+
+    def test_bad_fraction_rejected(self):
+        from repro.errors import LayoutError
+
+        binary = segmented_binary()
+        with pytest.raises(LayoutError):
+            cfa_layout(binary, self.make_units(binary), np.zeros(4), 256, 1.5)

@@ -1,0 +1,87 @@
+"""Scheduler-level behaviours of the multiprocessor model."""
+
+import numpy as np
+import pytest
+
+from repro.execution import OltpSystem, SystemConfig
+from repro.osmodel import KernelCodeConfig, build_kernel_program
+from repro.progen import AppCodeConfig, build_app_program
+from repro.workloads import TpcbConfig
+
+
+@pytest.fixture(scope="module")
+def programs():
+    app = build_app_program(
+        AppCodeConfig(scale=1.0, filler_routines=20, filler_instructions=8_000)
+    )
+    kernel = build_kernel_program(
+        KernelCodeConfig(scale=1.0, filler_routines=6, filler_instructions=1_500)
+    )
+    return app, kernel
+
+
+def run_system(programs, system_config, transactions=25):
+    app, kernel = programs
+    system = OltpSystem(
+        app, kernel,
+        tpcb_config=TpcbConfig(branches=4, accounts_per_branch=60),
+        system_config=system_config,
+    )
+    return system, system.run(transactions=transactions)
+
+
+def kernel_entry_count(system, trace, name):
+    spec = system.kernel.spec(name)
+    bid = spec.prologue_bid + system.walker.kernel_offset
+    return sum(int((cpu.blocks == bid).sum()) for cpu in trace.cpus)
+
+
+class TestScheduling:
+    def test_small_quantum_forces_context_switches(self, programs):
+        config = SystemConfig(cpus=1, processes_per_cpu=4, quantum=3_000,
+                              timer_interval=10**9)
+        system, trace = run_system(programs, config)
+        assert kernel_entry_count(system, trace, "k.switch") > 5
+
+    def test_huge_quantum_avoids_involuntary_switches(self, programs):
+        config = SystemConfig(cpus=1, processes_per_cpu=4, quantum=10**9,
+                              timer_interval=10**9)
+        system, trace = run_system(programs, config)
+        assert kernel_entry_count(system, trace, "k.switch") == 0
+
+    def test_timer_interrupts_fire_at_interval(self, programs):
+        config = SystemConfig(cpus=1, processes_per_cpu=2, quantum=10**9,
+                              timer_interval=20_000)
+        system, trace = run_system(programs, config)
+        sizes = system._sizes
+        total_instr = sum(
+            int(sizes[cpu.blocks].sum()) for cpu in trace.cpus
+        )
+        ticks = kernel_entry_count(system, trace, "k.timer")
+        expected = total_instr / 20_000
+        assert expected * 0.4 < ticks < expected * 1.8
+
+    def test_single_process_runs_alone(self, programs):
+        config = SystemConfig(cpus=1, processes_per_cpu=1, quantum=5_000,
+                              timer_interval=10**9)
+        system, trace = run_system(programs, config, transactions=10)
+        # Only one runnable process: never switch.
+        assert kernel_entry_count(system, trace, "k.switch") == 0
+        assert trace.transactions == 10
+
+    def test_commit_yields_cpu(self, programs):
+        """After a commit the CPU rotates to another process: committed
+        work is spread across all processes, not hogged by one."""
+        config = SystemConfig(cpus=1, processes_per_cpu=4, quantum=10**9,
+                              timer_interval=10**9)
+        system, trace = run_system(programs, config, transactions=24)
+        per_process = [p.committed for p in system._processes]
+        assert min(per_process) >= 1
+
+    def test_deterministic_given_seed(self, programs):
+        config = SystemConfig(cpus=2, processes_per_cpu=2, seed=9)
+        _, trace1 = run_system(programs, config, transactions=15)
+        _, trace2 = run_system(programs, config, transactions=15)
+        for c1, c2 in zip(trace1.cpus, trace2.cpus):
+            assert np.array_equal(c1.blocks, c2.blocks)
+            assert np.array_equal(c1.pids, c2.pids)

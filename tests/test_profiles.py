@@ -1,0 +1,137 @@
+"""Tests for the Pixie and DCPI profilers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProfileError
+from repro.ir import Binary, Procedure, Terminator
+from repro.profiles import DcpiProfiler, PixieProfiler, Profile
+
+
+def two_block_binary():
+    binary = Binary()
+    proc = Procedure("p")
+    proc.add_block("a", 10, Terminator.COND_BRANCH, succs=("a", "b"))
+    proc.add_block("b", 2, Terminator.RETURN)
+    binary.add_procedure(proc)
+    binary.seal()
+    return binary
+
+
+class TestPixie:
+    def test_block_counts(self):
+        binary = two_block_binary()
+        profiler = PixieProfiler(binary)
+        profiler.add_stream([0, 0, 0, 1])
+        profile = profiler.profile()
+        assert profile.block_counts.tolist() == [3, 1]
+
+    def test_edge_counts(self):
+        binary = two_block_binary()
+        profiler = PixieProfiler(binary)
+        profiler.add_stream([0, 0, 1])
+        profile = profiler.profile()
+        assert profile.edge_counts[(0, 0)] == 1
+        assert profile.edge_counts[(0, 1)] == 1
+
+    def test_multiple_streams_do_not_cross_edges(self):
+        binary = two_block_binary()
+        profiler = PixieProfiler(binary)
+        profiler.add_stream([0])
+        profiler.add_stream([1])
+        profile = profiler.profile()
+        assert (0, 1) not in profile.edge_counts
+
+    def test_empty_stream(self):
+        binary = two_block_binary()
+        profiler = PixieProfiler(binary)
+        profiler.add_stream([])
+        assert profiler.profile().total_blocks_executed == 0
+
+    def test_total_instructions(self):
+        binary = two_block_binary()
+        profiler = PixieProfiler(binary)
+        profiler.add_stream([0, 1])
+        assert profiler.profile().total_instructions == 12
+
+
+class TestProfileContainer:
+    def test_merge(self):
+        binary = two_block_binary()
+        p1 = PixieProfiler(binary)
+        p1.add_stream([0, 1])
+        p2 = PixieProfiler(binary)
+        p2.add_stream([0, 0])
+        merged = p1.profile().merge(p2.profile())
+        assert merged.block_counts.tolist() == [3, 1]
+        assert merged.edge_counts[(0, 0)] == 1
+
+    def test_merge_different_binaries_rejected(self):
+        p1 = Profile(two_block_binary())
+        p2 = Profile(two_block_binary())
+        with pytest.raises(ProfileError):
+            p1.merge(p2)
+
+    def test_hot_blocks(self):
+        binary = two_block_binary()
+        profiler = PixieProfiler(binary)
+        profiler.add_stream([0, 0, 1])
+        profile = profiler.profile()
+        assert profile.hot_blocks(threshold=2) == [0]
+
+    def test_proc_counts(self):
+        binary = two_block_binary()
+        profiler = PixieProfiler(binary)
+        profiler.add_stream([0, 1])
+        assert profiler.profile().proc_counts() == {"p": 1}
+
+    def test_validate_catches_impossible_edges(self):
+        binary = two_block_binary()
+        profile = Profile(binary)
+        profile.block_counts[0] = 1
+        profile.edge_counts[(0, 1)] = 5
+        with pytest.raises(ProfileError):
+            profile.validate()
+
+    def test_validate_passes_consistent(self):
+        binary = two_block_binary()
+        profiler = PixieProfiler(binary)
+        profiler.add_stream([0, 0, 0, 1])
+        profiler.profile().validate()
+
+
+class TestDcpi:
+    def test_sampling_estimates_counts(self):
+        binary = two_block_binary()
+        profiler = DcpiProfiler(binary, period=7)
+        # Block 0 executes 1000x (10 instrs), block 1 executes 100x.
+        stream = ([0] * 10 + [1]) * 100
+        profiler.add_stream(stream)
+        profile = profiler.profile()
+        # Estimates within 25% of the truth for the hot block.
+        assert abs(profile.block_counts[0] - 1000) / 1000 < 0.25
+
+    def test_samples_proportional_to_size_times_count(self):
+        binary = two_block_binary()
+        profiler = DcpiProfiler(binary, period=3)
+        profiler.add_stream([0, 1] * 200)
+        # Block 0 has 10/12 of the instructions.
+        hits = profiler._sample_hits
+        assert hits[0] > hits[1]
+
+    def test_no_edges_from_sampling(self):
+        binary = two_block_binary()
+        profiler = DcpiProfiler(binary, period=4)
+        profiler.add_stream([0, 0, 1])
+        assert profiler.profile().edge_counts == {}
+
+    def test_period_validated(self):
+        with pytest.raises(ValueError):
+            DcpiProfiler(two_block_binary(), period=0)
+
+    def test_phase_carries_across_streams(self):
+        binary = two_block_binary()
+        profiler = DcpiProfiler(binary, period=1000)
+        for _ in range(50):
+            profiler.add_stream([0, 0, 1])  # 22 instrs per stream
+        assert profiler.samples_taken == (22 * 50) // 1000

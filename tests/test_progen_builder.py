@@ -1,0 +1,207 @@
+"""Tests for the routine DSL compiler (progen.builder)."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import Terminator
+from repro.progen import (
+    Call,
+    CallSeq,
+    ColdPath,
+    If,
+    Loop,
+    RoutineSpec,
+    Straight,
+    SubCall,
+    Syscall,
+    build_binary,
+    eval_cond,
+    eval_count,
+    iter_nodes,
+)
+
+
+def compile_one(body, name="r", extra=()):
+    specs = [RoutineSpec(name, body=body)] + list(extra)
+    return build_binary(specs)
+
+
+class TestConditions:
+    def test_plain_binding(self):
+        assert eval_cond("hit", {"hit": True})
+        assert not eval_cond("hit", {"hit": 0})
+
+    def test_negation(self):
+        assert eval_cond("!hit", {"hit": False})
+
+    def test_never(self):
+        assert not eval_cond("never", {})
+        assert eval_cond("!never", {})
+
+    def test_missing_binding_raises(self):
+        with pytest.raises(IRError):
+            eval_cond("ghost", {})
+
+    def test_pseudo_random_deterministic(self):
+        first = eval_cond("?40", {"salt": 123}, nonce=7)
+        second = eval_cond("?40", {"salt": 123}, nonce=7)
+        assert first == second
+
+    def test_pseudo_random_rates(self):
+        hits = sum(
+            eval_cond("?30", {"salt": salt}, nonce=11) for salt in range(2000)
+        )
+        assert 0.25 < hits / 2000 < 0.35
+
+    def test_pseudo_extremes(self):
+        assert not any(eval_cond("?0", {"salt": s}, nonce=3) for s in range(50))
+        assert all(eval_cond("?100", {"salt": s}, nonce=3) for s in range(50))
+
+    def test_count_from_binding_and_minus(self):
+        assert eval_count("depth", 0, {"depth": 3}) == 3
+        assert eval_count("depth", 5, {"depth": 3}) == 0
+        assert eval_count(7, 2, {}) == 5
+
+    def test_count_missing_raises(self):
+        with pytest.raises(IRError):
+            eval_count("ghost", 0, {})
+
+
+class TestCompilation:
+    def test_straight_chain(self):
+        program = compile_one([Straight(5), Straight(7)])
+        proc = program.binary.proc("r")
+        # prologue, s1, s2, epilogue
+        assert [b.size for b in proc.blocks] == [4, 5, 7, 3]
+        assert proc.blocks[0].terminator is Terminator.FALLTHROUGH
+        assert proc.blocks[-1].terminator is Terminator.RETURN
+
+    def test_spec_bids_annotated(self):
+        node = Straight(5)
+        program = compile_one([node])
+        spec = program.spec("r")
+        assert spec.prologue_bid >= 0
+        assert node.bid >= 0
+
+    def test_if_two_sided_wiring(self):
+        node = If("hit", then=[Straight(2)], orelse=[Straight(3)])
+        program = compile_one([node])
+        binary = program.binary
+        cmp_blk = binary.block(node.bid)
+        assert cmp_blk.terminator is Terminator.COND_BRANCH
+        # Fallthrough successor is the then-arm.
+        then_bid = node.then[0].bid
+        else_bid = node.orelse[0].bid
+        assert cmp_blk.fallthrough == then_bid
+        assert cmp_blk.taken == else_bid
+        then_exit = binary.block(node.then_exit_bid)
+        assert then_exit.terminator is Terminator.UNCOND_BRANCH
+
+    def test_if_with_empty_then_rejected(self):
+        with pytest.raises(IRError):
+            compile_one([If("hit", then=[], orelse=[Straight(1)])])
+
+    def test_loop_wiring(self):
+        node = Loop(3, body=[Straight(4)])
+        program = compile_one([node])
+        binary = program.binary
+        header = binary.block(node.bid)
+        assert header.terminator is Terminator.COND_BRANCH
+        latch = binary.block(node.latch_bid)
+        assert latch.terminator is Terminator.UNCOND_BRANCH
+        assert latch.succs == (node.bid,)
+
+    def test_call_resolution_plain(self):
+        callee = RoutineSpec("callee", body=[Straight(1)])
+        node = Call("callee")
+        program = compile_one([node], extra=[callee])
+        assert node.target == "callee"
+        blk = program.binary.block(node.bid)
+        assert blk.terminator is Terminator.CALL
+        assert blk.call_target == "callee"
+
+    def test_call_resolution_prefers_specialized(self):
+        shared = RoutineSpec("fetch", body=[Straight(1)])
+        special = RoutineSpec("fetch@acct", body=[Straight(2)], suffix="acct")
+        node = Call("fetch")
+        caller = RoutineSpec("main@acct", body=[node], suffix="acct")
+        program = build_binary([caller, shared, special])
+        assert node.target == "fetch@acct"
+
+    def test_unknown_call_target_rejected(self):
+        with pytest.raises(IRError):
+            compile_one([Call("ghost")])
+
+    def test_subcall_compiles_to_call(self):
+        helper = RoutineSpec("helper", body=[Straight(2)])
+        node = SubCall("helper")
+        program = compile_one([node], extra=[helper])
+        blk = program.binary.block(node.bid)
+        assert blk.terminator is Terminator.CALL
+        assert blk.call_target == "helper"
+
+    def test_coldpath_out_of_line_banked_after_epilogue(self):
+        node = ColdPath(12, blocks=3, inline=False)
+        program = compile_one([Straight(5), node, Straight(5)])
+        proc = program.binary.proc("r")
+        guard = program.binary.block(node.bid)
+        assert guard.terminator is Terminator.COND_BRANCH
+        # Guard's fallthrough continues the hot path; taken goes to the
+        # cold bank, which sits after the epilogue in source order.
+        cold_entry = guard.taken
+        epilogue_index = next(
+            i for i, b in enumerate(proc.blocks)
+            if b.terminator is Terminator.RETURN
+        )
+        cold_index = next(
+            i for i, b in enumerate(proc.blocks) if b.bid == cold_entry
+        )
+        assert cold_index > epilogue_index
+
+    def test_coldpath_inline_branches_around(self):
+        node = ColdPath(12, blocks=2, inline=True)
+        nxt = Straight(5)
+        program = compile_one([Straight(5), node, nxt])
+        guard = program.binary.block(node.bid)
+        # Inline: taken skips the cold code to the next node.
+        assert guard.taken == nxt.bid
+
+    def test_callseq_structure(self):
+        a = RoutineSpec("a", body=[Straight(1)])
+        b = RoutineSpec("b", body=[Straight(1)])
+        node = CallSeq(("a", "b"))
+        program = compile_one([node], extra=[a, b])
+        binary = program.binary
+        header = binary.block(node.bid)
+        assert header.terminator is Terminator.COND_BRANCH
+        call_a = binary.block(getattr(node, "_call_0"))
+        call_b = binary.block(getattr(node, "_call_1"))
+        assert call_a.call_target == "a"
+        assert call_b.call_target == "b"
+        latch = binary.block(node.latch_bid)
+        assert latch.succs == (node.bid,)
+
+    def test_duplicate_spec_rejected(self):
+        with pytest.raises(IRError):
+            build_binary([
+                RoutineSpec("x", body=[Straight(1)]),
+                RoutineSpec("x", body=[Straight(1)]),
+            ])
+
+    def test_resolve_event_names(self):
+        shared = RoutineSpec("fetch", body=[Straight(1)])
+        special = RoutineSpec("fetch@acct", body=[Straight(2)], suffix="acct")
+        program = build_binary([shared, special])
+        assert program.resolve("fetch", None) == "fetch"
+        assert program.resolve("fetch", "acct") == "fetch@acct"
+        assert program.resolve("fetch", "other") == "fetch"
+        with pytest.raises(IRError):
+            program.resolve("ghost", None)
+
+    def test_iter_nodes_descends(self):
+        body = [
+            Straight(1),
+            If("x", then=[Straight(2)], orelse=[Loop(2, body=[Straight(3)])]),
+        ]
+        kinds = [type(n).__name__ for n in iter_nodes(body)]
+        assert kinds == ["Straight", "If", "Straight", "Loop", "Straight"]

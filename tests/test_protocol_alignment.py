@@ -1,0 +1,193 @@
+"""Engine <-> routine-library protocol alignment under stress.
+
+The CFG interpreter is *strict*: every traced engine operation must
+walk its routine spec consuming exactly the children the engine
+emitted.  These tests force the awkward paths -- buffer misses with
+dirty write-back, lock waits, retries, statement-cache misses, aborts,
+page rollovers, B+tree splits -- and require clean expansion.
+"""
+
+import numpy as np
+import pytest
+
+from repro.db import CallTrace, Engine, LockWait, int_col, pad_col
+from repro.execution import CfgWalker
+from repro.osmodel import KernelCodeConfig, build_kernel_program
+from repro.progen import AppCodeConfig, build_app_program
+from repro.workloads import SCHEMA, KEY_COLUMNS
+
+
+@pytest.fixture(scope="module")
+def walker():
+    app = build_app_program(
+        AppCodeConfig(scale=0.5, filler_routines=10, filler_instructions=2_000)
+    )
+    kernel = build_kernel_program(
+        KernelCodeConfig(scale=0.5, filler_routines=4, filler_instructions=800)
+    )
+    return CfgWalker(app, kernel)
+
+
+def make_engine(trace, pool_capacity=512, btree_order=8):
+    engine = Engine(pool_capacity=pool_capacity, btree_order=btree_order,
+                    trace=trace)
+    for name, columns in SCHEMA.items():
+        engine.create_table(name, columns, KEY_COLUMNS[name],
+                            indexed=(name != "history"))
+    return engine
+
+
+def expand_all(walker, trace):
+    out = []
+    for event in trace.take():
+        walker.walk_event(event, out)
+    return np.asarray(out, dtype=np.int64)
+
+
+class TestProtocolAlignment:
+    def test_plain_transaction(self, walker):
+        trace = CallTrace()
+        engine = make_engine(trace)
+        for i in range(30):
+            engine.load_row("account", {"account_id": i, "branch_id": 0,
+                                        "balance": 0})
+        trace.take()
+        txn = engine.begin()
+        engine.update_row(txn, "account", 5, deltas={"balance": 7})
+        engine.commit(txn)
+        blocks = expand_all(walker, trace)
+        assert len(blocks) > 50
+
+    def test_tiny_pool_forces_reads_and_writebacks(self, walker):
+        trace = CallTrace()
+        engine = make_engine(trace, pool_capacity=4)
+        for i in range(400):
+            engine.load_row("account", {"account_id": i, "branch_id": 0,
+                                        "balance": 0})
+        engine.checkpoint()
+        trace.take()
+        for key in (0, 399, 7, 250, 3):
+            txn = engine.begin()
+            engine.update_row(txn, "account", key, deltas={"balance": 1})
+            engine.commit(txn)
+        blocks = expand_all(walker, trace)
+        kernel_blocks = blocks[blocks >= walker.kernel_offset]
+        # Misses and dirty write-backs must have produced k.read/k.write.
+        assert len(kernel_blocks) > 0
+
+    def test_btree_splits_during_traced_inserts(self, walker):
+        trace = CallTrace()
+        engine = make_engine(trace, btree_order=4)
+        trace.take()
+        txn = engine.begin()
+        for i in range(60):
+            engine.insert_row(txn, "account",
+                              {"account_id": i, "branch_id": 0, "balance": 0})
+        engine.commit(txn)
+        expand_all(walker, trace)  # CallSeq must absorb splits
+
+    def test_history_insert_without_index(self, walker):
+        trace = CallTrace()
+        engine = make_engine(trace)
+        trace.take()
+        txn = engine.begin()
+        engine.insert_row(txn, "history", {
+            "account_id": 1, "teller_id": 1, "branch_id": 0,
+            "delta": 5, "timestamp": 1,
+        })
+        engine.commit(txn)
+        blocks = expand_all(walker, trace)
+        assert len(blocks) > 0
+
+    def test_heap_page_rollover(self, walker):
+        trace = CallTrace()
+        engine = make_engine(trace)
+        trace.take()
+        txn = engine.begin()
+        # History rows are ~58 bytes; ~140 fit a page -> force rollover.
+        for i in range(300):
+            engine.insert_row(txn, "history", {
+                "account_id": i, "teller_id": 0, "branch_id": 0,
+                "delta": 1, "timestamp": i,
+            })
+        engine.commit(txn)
+        expand_all(walker, trace)
+
+    def test_lock_wait_and_retry(self, walker):
+        trace = CallTrace()
+        engine = make_engine(trace)
+        engine.load_row("account", {"account_id": 1, "branch_id": 0,
+                                    "balance": 0})
+        trace.take()
+        txn1 = engine.begin()
+        engine.update_row(txn1, "account", 1, deltas={"balance": 1})
+        txn2 = engine.begin()
+        with pytest.raises(LockWait):
+            engine.update_row(txn2, "account", 1, deltas={"balance": 2})
+        engine.commit(txn1)
+        engine.update_row(txn2, "account", 1, deltas={"balance": 2})
+        engine.commit(txn2)
+        blocks = expand_all(walker, trace)
+        # The k.yield path executed exactly once (one parked request).
+        kyield = walker.kernel.spec("k.yield")
+        assert (blocks == kyield.prologue_bid + walker.kernel_offset).sum() == 1
+
+    def test_missing_key_truncates_cleanly(self, walker):
+        trace = CallTrace()
+        engine = make_engine(trace)
+        engine.load_row("account", {"account_id": 1, "branch_id": 0,
+                                    "balance": 0})
+        trace.take()
+        txn = engine.begin()
+        from repro.errors import KeyNotFoundError
+
+        with pytest.raises(KeyNotFoundError):
+            engine.update_row(txn, "account", 999, deltas={"balance": 1})
+        engine.abort(txn)
+        expand_all(walker, trace)
+
+    def test_abort_with_undo_work(self, walker):
+        trace = CallTrace()
+        engine = make_engine(trace)
+        for i in range(10):
+            engine.load_row("account", {"account_id": i, "branch_id": 0,
+                                        "balance": 0})
+        trace.take()
+        txn = engine.begin()
+        engine.update_row(txn, "account", 1, deltas={"balance": 5})
+        engine.insert_row(txn, "account", {"account_id": 100, "branch_id": 0,
+                                           "balance": 0})
+        engine.abort(txn)
+        blocks = expand_all(walker, trace)
+        abort_spec = walker.app.spec("txn_abort")
+        assert abort_spec.prologue_bid in blocks.tolist()
+
+    def test_statement_cache_miss_then_hit(self, walker):
+        trace = CallTrace()
+        engine = make_engine(trace)
+        engine.load_row("teller", {"teller_id": 1, "branch_id": 0, "balance": 0})
+        trace.take()
+        for _ in range(3):
+            txn = engine.begin()
+            engine.get_row(txn, "teller", 1)
+            engine.commit(txn)
+        blocks = expand_all(walker, trace)
+        parse = walker.app.spec("sql_parse")
+        assert (blocks == parse.prologue_bid).sum() == 1  # parsed once
+
+    def test_group_commit_skips_flush(self, walker):
+        """A commit covered by an earlier flush emits no wal_flush."""
+        trace = CallTrace()
+        engine = make_engine(trace)
+        engine.load_row("teller", {"teller_id": 1, "branch_id": 0, "balance": 0})
+        trace.take()
+        txn = engine.begin()  # read-only: nothing to flush beyond BEGIN
+        engine.get_row(txn, "teller", 1)
+        engine.commit(txn)
+        txn2 = engine.begin()
+        engine.get_row(txn2, "teller", 1)
+        # Flush the log behind txn2's back, then commit: COMMIT record
+        # itself still needs a flush, so this checks the flushed binding
+        # is computed per commit.
+        engine.commit(txn2)
+        expand_all(walker, trace)

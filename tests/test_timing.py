@@ -1,0 +1,77 @@
+"""Tests for the timing model."""
+
+import numpy as np
+import pytest
+
+from repro.timing import (
+    ALPHA_21164,
+    ALPHA_21264,
+    ALPHA_21364_SIM,
+    PLATFORMS,
+    estimate_cycles,
+    relative_execution_time,
+)
+
+
+def spans(*pairs):
+    starts = np.array([p[0] for p in pairs], dtype=np.int64)
+    counts = np.array([p[1] for p in pairs], dtype=np.int64)
+    return starts, counts
+
+
+class TestPlatforms:
+    def test_paper_parameters(self):
+        assert ALPHA_21164.icache.size_bytes == 8 * 1024
+        assert ALPHA_21164.icache.assoc == 1
+        assert ALPHA_21164.itlb_entries == 48
+        assert ALPHA_21264.icache.size_bytes == 64 * 1024
+        assert ALPHA_21264.icache.assoc == 2
+        assert ALPHA_21364_SIM.l2.size_bytes == 1536 * 1024
+        assert ALPHA_21364_SIM.l2.assoc == 6
+        assert len(PLATFORMS) == 3
+
+
+class TestEstimateCycles:
+    def test_instruction_count(self):
+        streams = [spans((0, 100))]
+        breakdown = estimate_cycles(streams, ALPHA_21164)
+        assert breakdown.instructions == 100
+        assert breakdown.base_cycles == pytest.approx(140.0)
+
+    def test_miss_stalls_accumulate(self):
+        # Thrash two conflicting lines in the 8KB direct-mapped cache.
+        stride = 8 * 1024
+        pairs = [(0, 8), (stride, 8)] * 50
+        streams = [spans(*pairs)]
+        breakdown = estimate_cycles(streams, ALPHA_21164)
+        assert breakdown.icache_misses == 100
+        assert breakdown.icache_stall > 0
+
+    def test_fewer_misses_fewer_cycles(self):
+        thrash = [spans(*([(0, 8), (8 * 1024, 8)] * 50))]
+        friendly = [spans(*([(0, 8), (64, 8)] * 50))]
+        bad = estimate_cycles(thrash, ALPHA_21164)
+        good = estimate_cycles(friendly, ALPHA_21164)
+        assert good.total_cycles < bad.total_cycles
+        assert good.instructions == bad.instructions
+
+    def test_data_streams_add_stall(self):
+        streams = [spans((0, 100))]
+        data = [(np.arange(50, dtype=np.int64) * 8192 + (1 << 30),
+                 np.arange(50, dtype=np.int64))]
+        without = estimate_cycles(streams, ALPHA_21164)
+        with_data = estimate_cycles(streams, ALPHA_21164, data)
+        assert with_data.data_stall > 0
+        assert without.data_stall == 0
+
+    def test_itlb_stall(self):
+        pages = [(p * 8192, 4) for p in range(200)]
+        streams = [spans(*pages)]
+        breakdown = estimate_cycles(streams, ALPHA_21164)
+        assert breakdown.itlb_misses >= 200 - ALPHA_21164.itlb_entries
+
+    def test_relative_execution_time(self):
+        streams = [spans((0, 1000))]
+        b = estimate_cycles(streams, ALPHA_21164)
+        rel = relative_execution_time({"base": b, "opt": b})
+        assert rel == {"base": 100.0, "opt": 100.0}

@@ -1,0 +1,56 @@
+"""Additional timing-model coverage: the 21364-sim platform and the
+composition of stall categories."""
+
+import numpy as np
+import pytest
+
+from repro.timing import (
+    ALPHA_21364_SIM,
+    CycleBreakdown,
+    estimate_cycles,
+    relative_execution_time,
+)
+
+
+def spans(*pairs):
+    starts = np.array([p[0] for p in pairs], dtype=np.int64)
+    counts = np.array([p[1] for p in pairs], dtype=np.int64)
+    return starts, counts
+
+
+class TestSimPlatform:
+    def test_l2_hit_cheaper_than_memory(self):
+        # Footprint fits L2 but not L1 -> misses cost l1 penalty only
+        # after the first pass; a footprint exceeding L2 pays more.
+        platform = ALPHA_21364_SIM
+        small = [spans(*[(i * 64, 16) for i in range(2048)] * 4)]   # 128KB
+        large = [spans(*[(i * 64, 16) for i in range(65536)])]      # 4MB, one pass
+        small_b = estimate_cycles(small, platform)
+        large_b = estimate_cycles(large, platform)
+        small_cpi = small_b.total_cycles / small_b.instructions
+        large_cpi = large_b.total_cycles / large_b.instructions
+        assert large_cpi > small_cpi
+
+    def test_breakdown_sums(self):
+        streams = [spans((0, 200), (1 << 20, 50))]
+        breakdown = estimate_cycles(streams, ALPHA_21364_SIM)
+        assert breakdown.total_cycles == pytest.approx(
+            breakdown.base_cycles + breakdown.icache_stall
+            + breakdown.itlb_stall + breakdown.data_stall
+        )
+
+    def test_multi_cpu_streams_accumulate(self):
+        one = estimate_cycles([spans((0, 500))], ALPHA_21364_SIM)
+        two = estimate_cycles([spans((0, 500)), spans((0, 500))],
+                              ALPHA_21364_SIM)
+        assert two.instructions == 2 * one.instructions
+
+    def test_relative_execution_ordering(self):
+        # Same instruction volume; fast reuses 4 resident lines, slow
+        # thrashes three lines aliasing one 2-way set.
+        fast = estimate_cycles([spans(*([(0, 48)] * 100))], ALPHA_21364_SIM)
+        slow_spans = [spans(*([(0, 16), (1 << 21, 16), (1 << 22, 16)] * 100))]
+        slow = estimate_cycles(slow_spans, ALPHA_21364_SIM)
+        assert fast.instructions == slow.instructions
+        rel = relative_execution_time({"base": slow, "opt": fast})
+        assert rel["opt"] < rel["base"] == 100.0

@@ -1,0 +1,222 @@
+"""Tests for the DSS workload (read-only aggregation queries)."""
+
+import numpy as np
+import pytest
+
+from repro.db import CallTrace, Engine
+from repro.errors import WorkloadError
+from repro.execution import CfgWalker, OltpSystem, SystemConfig
+from repro.osmodel import KernelCodeConfig, build_kernel_program
+from repro.progen import AppCodeConfig, build_app_program
+from repro.workloads import (
+    DssClient,
+    DssConfig,
+    DssQuery,
+    DssWorkload,
+    QUERY_MIX,
+    TpcbConfig,
+    load_database,
+    run_transactions,
+)
+
+
+def small_dss(seed=3):
+    return DssConfig(tpcb=TpcbConfig(branches=3, accounts_per_branch=80),
+                     seed=seed)
+
+
+def loaded_engine(config, trace=None):
+    engine = Engine(pool_capacity=2048, btree_order=32, trace=trace)
+    load_database(engine, config.tpcb)
+    return engine
+
+
+class TestDssQueries:
+    def test_q1_branch_balance_correct(self):
+        config = small_dss()
+        engine = loaded_engine(config)
+        net = run_transactions(engine, config.tpcb, 30)
+        # Sum across branches via Q1 equals the OLTP net delta.
+        total = 0
+        for branch in range(config.tpcb.branches):
+            txn = engine.begin()
+            rows = engine.scan_rows(
+                txn, "account", lambda r, b=branch: r["branch_id"] == b
+            )
+            engine.commit(txn)
+            total += sum(r["balance"] for r in rows)
+        assert total == net
+
+    def test_q2_teller_summary_correct(self):
+        config = small_dss()
+        engine = loaded_engine(config)
+        net = run_transactions(engine, config.tpcb, 20)
+        import random
+
+        query = DssQuery(engine, "q2_teller_summary", config, random.Random(0))
+        while not query.done:
+            query.run_step()
+        assert query.result == net
+
+    def test_q3_probes_run(self):
+        config = small_dss()
+        engine = loaded_engine(config)
+        import random
+
+        query = DssQuery(engine, "q3_spot_check", config, random.Random(1))
+        while not query.done:
+            query.run_step()
+        assert query.result == 0  # all balances zero before any updates
+
+    def test_unknown_kind_rejected(self):
+        config = small_dss()
+        engine = loaded_engine(config)
+        import random
+
+        query = DssQuery(engine, "q9", config, random.Random(0))
+        query.run_step()  # begin
+        with pytest.raises(WorkloadError):
+            query.run_step()
+
+    def test_completed_query_rejects_steps(self):
+        config = small_dss()
+        engine = loaded_engine(config)
+        import random
+
+        query = DssQuery(engine, "q2_teller_summary", config, random.Random(0))
+        while not query.done:
+            query.run_step()
+        with pytest.raises(WorkloadError):
+            query.run_step()
+
+    def test_client_round_robins_mix(self):
+        config = small_dss()
+        engine = loaded_engine(config)
+        client = DssClient(config, pid=0)
+        kinds = [client.next_transaction(engine).kind
+                 for _ in range(2 * len(QUERY_MIX))]
+        assert kinds == list(QUERY_MIX) * 2
+
+
+class TestDssTracing:
+    def test_scan_event_protocol(self):
+        trace = CallTrace()
+        config = small_dss()
+        engine = loaded_engine(config, trace=trace)
+        trace.take()
+        txn = engine.begin()
+        rows = engine.scan_rows(txn, "account")
+        engine.commit(txn)
+        events = trace.take()
+        scan = next(e for e in events if e.name == "sql_scan")
+        assert scan.bindings["rows"] == len(rows) == config.tpcb.accounts
+        assert scan.bindings["pages"] >= 1
+        assert scan.find("buffer_get")
+
+    def test_scan_expands_through_walker(self):
+        app = build_app_program(
+            AppCodeConfig(scale=0.5, filler_routines=5, filler_instructions=1000)
+        )
+        kernel = build_kernel_program(
+            KernelCodeConfig(scale=0.5, filler_routines=2, filler_instructions=500)
+        )
+        walker = CfgWalker(app, kernel)
+        trace = CallTrace()
+        config = small_dss()
+        engine = loaded_engine(config, trace=trace)
+        trace.take()
+        txn = engine.begin()
+        engine.scan_rows(txn, "teller")
+        engine.commit(txn)
+        out = []
+        for event in trace.take():
+            walker.walk_event(event, out)
+        scan_spec = app.spec("sql_scan@teller")
+        assert scan_spec.prologue_bid in out
+
+
+class TestDssSystem:
+    def test_system_runs_dss(self):
+        app = build_app_program(
+            AppCodeConfig(scale=0.5, filler_routines=10, filler_instructions=2000)
+        )
+        kernel = build_kernel_program(
+            KernelCodeConfig(scale=0.5, filler_routines=4, filler_instructions=800)
+        )
+        system = OltpSystem(
+            app, kernel,
+            system_config=SystemConfig(cpus=2, processes_per_cpu=2),
+            workload=DssWorkload(small_dss()),
+        )
+        trace = system.run(transactions=9, warmup=2)
+        assert trace.transactions == 9
+        # Read-only: branch balances untouched.
+        engine = system.engine
+        txn = engine.begin()
+        assert engine.get_row(txn, "branch", 0)["balance"] == 0
+        engine.commit(txn)
+
+
+class TestRangeQueries:
+    def test_range_search_matches_point_lookups(self):
+        config = small_dss()
+        engine = loaded_engine(config)
+        pairs = engine.tables["account"].index.range_search(10, 25)
+        assert [k for k, _ in pairs] == list(range(10, 26))
+
+    def test_range_search_empty_and_inverted(self):
+        config = small_dss()
+        engine = loaded_engine(config)
+        index = engine.tables["account"].index
+        assert index.range_search(10**6, 2 * 10**6) == []
+        assert index.range_search(20, 10) == []
+
+    def test_range_rows_returns_decoded_rows(self):
+        config = small_dss()
+        engine = loaded_engine(config)
+        txn = engine.begin()
+        rows = engine.range_rows(txn, "account", 5, 9)
+        engine.commit(txn)
+        assert [r["account_id"] for r in rows] == [5, 6, 7, 8, 9]
+
+    def test_range_rows_traced_and_walkable(self):
+        from repro.db import CallTrace
+
+        trace = CallTrace()
+        config = small_dss()
+        engine = loaded_engine(config, trace=trace)
+        trace.take()
+        txn = engine.begin()
+        engine.range_rows(txn, "account", 0, 30)
+        engine.commit(txn)
+        app = build_app_program(
+            AppCodeConfig(scale=0.5, filler_routines=5, filler_instructions=1000)
+        )
+        kernel = build_kernel_program(
+            KernelCodeConfig(scale=0.5, filler_routines=2, filler_instructions=500)
+        )
+        walker = CfgWalker(app, kernel)
+        out = []
+        for event in trace.take():
+            walker.walk_event(event, out)
+        assert app.spec("index_scan@account").prologue_bid in out
+
+    def test_q4_query_correct_after_updates(self):
+        config = small_dss()
+        engine = loaded_engine(config)
+        run_transactions(engine, config.tpcb, 15)
+        txn = engine.begin()
+        rows = engine.range_rows(txn, "account", 0, config.tpcb.accounts - 1)
+        full = engine.scan_rows(txn, "account")
+        engine.commit(txn)
+        assert sum(r["balance"] for r in rows) == sum(r["balance"] for r in full)
+
+    def test_unindexed_table_rejected(self):
+        from repro.errors import DatabaseError
+
+        config = small_dss()
+        engine = loaded_engine(config)
+        txn = engine.begin()
+        with pytest.raises(DatabaseError):
+            engine.range_rows(txn, "history", 0, 10)
+        engine.abort(txn)

@@ -1,0 +1,118 @@
+"""Tests for the TPC-B workload: loading, transactions, invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import Engine
+from repro.errors import WorkloadError
+from repro.workloads import (
+    TpcbConfig,
+    TpcbGenerator,
+    TpcbTransaction,
+    load_database,
+    run_transactions,
+)
+
+
+def small_config(**kwargs):
+    defaults = dict(branches=3, accounts_per_branch=100, seed=7)
+    defaults.update(kwargs)
+    return TpcbConfig(**defaults)
+
+
+def loaded_engine(config):
+    engine = Engine(pool_capacity=4096, btree_order=64)
+    load_database(engine, config)
+    return engine
+
+
+class TestLoading:
+    def test_row_counts(self):
+        config = small_config()
+        engine = loaded_engine(config)
+        txn = engine.begin()
+        for branch_id in range(config.branches):
+            assert engine.get_row(txn, "branch", branch_id)["balance"] == 0
+        for teller_id in range(config.tellers):
+            row = engine.get_row(txn, "teller", teller_id)
+            assert row["branch_id"] == teller_id // config.tellers_per_branch
+        engine.commit(txn)
+        assert engine.tables["account"].index is not None
+        assert engine.tables["history"].index is None
+
+    def test_config_scaling(self):
+        config = small_config()
+        assert config.accounts == 300
+        assert config.tellers == 30
+
+
+class TestTransaction:
+    def test_balance_conservation(self):
+        config = small_config()
+        engine = loaded_engine(config)
+        net = run_transactions(engine, config, 40)
+        txn = engine.begin()
+        branch_total = sum(
+            engine.get_row(txn, "branch", b)["balance"]
+            for b in range(config.branches)
+        )
+        teller_total = sum(
+            engine.get_row(txn, "teller", t)["balance"]
+            for t in range(config.tellers)
+        )
+        engine.commit(txn)
+        assert branch_total == net
+        assert teller_total == net
+
+    def test_history_grows_per_transaction(self):
+        config = small_config()
+        engine = loaded_engine(config)
+        run_transactions(engine, config, 25)
+        assert engine.tables["history"].heap.num_records == 25
+
+    def test_generator_deterministic(self):
+        config = small_config()
+        first = [TpcbGenerator(config, 1).next_request() for _ in range(5)]
+        second = [TpcbGenerator(config, 1).next_request() for _ in range(5)]
+        assert first == second
+
+    def test_generator_clients_differ(self):
+        config = small_config()
+        a = TpcbGenerator(config, 0).next_request()
+        b = TpcbGenerator(config, 1).next_request()
+        assert (a.account_id, a.teller_id) != (b.account_id, b.teller_id)
+
+    def test_home_branch_matches_teller(self):
+        config = small_config()
+        for client in range(10):
+            gen = TpcbGenerator(config, client)
+            request = gen.next_request()
+            assert request.branch_id == request.teller_id // config.tellers_per_branch
+
+    def test_step_machine_runs_to_done(self):
+        config = small_config()
+        engine = loaded_engine(config)
+        request = TpcbGenerator(config, 0).next_request()
+        txn = TpcbTransaction(engine, request)
+        steps = 0
+        while not txn.done:
+            txn.run_step()
+            steps += 1
+        assert steps == 6
+        with pytest.raises(WorkloadError):
+            txn.run_step()
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=1, max_value=30))
+    def test_conservation_property(self, count):
+        config = small_config(seed=99)
+        engine = loaded_engine(config)
+        net = run_transactions(engine, config, count)
+        txn = engine.begin()
+        total = sum(
+            engine.get_row(txn, "branch", b)["balance"]
+            for b in range(config.branches)
+        )
+        engine.commit(txn)
+        assert total == net
