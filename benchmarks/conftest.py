@@ -2,14 +2,29 @@
 
 The heavy pipeline products (generated binaries, profile run,
 measurement trace, layouts) are computed once per session by the
-``exp`` fixture and shared by every figure benchmark.
+``exp`` fixture and shared by every figure benchmark.  They also
+persist in the artifact cache (``$REPRO_CACHE_DIR``, default
+``~/.cache/repro``) so a re-run of the suite after analysis-only
+changes skips the regeneration entirely; set ``REPRO_NO_CACHE=1`` to
+force recomputation and ``REPRO_JOBS=N`` to fan sweep cells across
+worker processes.
 """
 
+import os
 import pathlib
 
 import pytest
 
 RESULTS = pathlib.Path(__file__).parent / "results"
+
+
+def _configure(experiment):
+    from repro.harness import ArtifactStore, default_cache_dir
+
+    if not os.environ.get("REPRO_NO_CACHE"):
+        experiment.attach_store(ArtifactStore(default_cache_dir()))
+    experiment.jobs = int(os.environ.get("REPRO_JOBS", "1") or "1")
+    return experiment
 
 
 @pytest.fixture(scope="session")
@@ -22,7 +37,7 @@ def results_dir():
 def exp():
     from repro.harness import default_experiment
 
-    experiment = default_experiment()
+    experiment = _configure(default_experiment())
     _ = experiment.profile  # profiling run
     _ = experiment.trace    # measurement run
     return experiment
@@ -32,7 +47,7 @@ def exp():
 def uni_exp():
     from repro.harness import uniprocessor_experiment
 
-    experiment = uniprocessor_experiment()
+    experiment = _configure(uniprocessor_experiment())
     _ = experiment.profile
     _ = experiment.trace
     return experiment

@@ -6,18 +6,34 @@ Commands:
 * ``figure``   -- regenerate one or more paper figures as text tables.
 * ``sweep``    -- run the Figure 4/5 cache sweep.
 * ``ablation`` -- run the Figure 7 optimization ablation.
+* ``cache``    -- inspect (``info``) or wipe (``clear``) the artifact cache.
+* ``summary``  -- concatenate saved benchmark result tables.
 
 Figures run on the quick experiment by default; pass ``--full`` for
-the paper-scale configuration used by the benchmark suite.
+the paper-scale configuration used by the benchmark suite.  Stage
+products (codegen, profiles, traces, layouts) persist in a
+content-addressed cache (``--cache-dir``, default ``~/.cache/repro``;
+``--no-cache`` disables) so warm reruns skip straight to the cache
+simulators, and ``--jobs N`` fans independent sweep cells across
+worker processes with bit-identical output.  A per-stage run log
+(wall time, cache hit/miss, bytes) is printed to stderr after each
+command unless ``--quiet`` is given.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Dict, List
 
-from repro.harness import default_experiment, figures, quick_experiment
+from repro.harness import (
+    ArtifactStore,
+    default_cache_dir,
+    default_experiment,
+    figures,
+    quick_experiment,
+)
 
 #: figure name -> callable(exp) returning one or more Tables.
 _FIGURES: Dict[str, Callable] = {
@@ -45,6 +61,10 @@ _FIGURES: Dict[str, Callable] = {
 }
 
 
+def _default_jobs() -> int:
+    return int(os.environ.get("REPRO_JOBS", "1") or "1")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -54,6 +74,23 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--full", action="store_true",
         help="use the paper-scale experiment (slower; benchmark default)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=_default_jobs(), metavar="N",
+        help="worker processes for sweep fan-out (default $REPRO_JOBS or 1; "
+        "-1 = one per CPU); output is bit-identical to serial",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help=f"artifact cache directory (default {default_cache_dir()})",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent artifact cache for this run",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the per-stage run log on stderr",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -68,6 +105,12 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("sweep", help="Figure 4/5 cache sweep (base + optimized)")
     sub.add_parser("ablation", help="Figure 7 optimization ablation")
 
+    cache = sub.add_parser("cache", help="inspect or clear the artifact cache")
+    cache.add_argument(
+        "action", choices=("info", "clear"),
+        help="'info' summarizes the cache; 'clear' wipes it",
+    )
+
     summary = sub.add_parser(
         "summary", help="concatenate saved benchmark result tables"
     )
@@ -78,8 +121,36 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _store(args) -> ArtifactStore:
+    return ArtifactStore(args.cache_dir or default_cache_dir())
+
+
 def _experiment(args):
-    return default_experiment() if args.full else quick_experiment()
+    exp = default_experiment() if args.full else quick_experiment()
+    exp.jobs = args.jobs
+    exp.attach_store(None if args.no_cache else _store(args))
+    return exp
+
+
+def _warm(exp) -> None:
+    """Touch every expensive stage so the run log covers the whole
+    pipeline (codegen, profile, trace) even when layouts are cached."""
+    _ = exp.app
+    _ = exp.kernel
+    _ = exp.profile
+    _ = exp.trace
+
+
+def _emit_runlog(exp, args) -> None:
+    if args.quiet or not exp.runlog.records:
+        return
+    cache = "off" if exp.store is None else str(exp.store.root)
+    sys.stderr.write(
+        exp.runlog.render(
+            header=f"run log: fingerprint={exp.fingerprint} "
+            f"jobs={exp.jobs} cache={cache}"
+        )
+    )
 
 
 def _cmd_info(args, out) -> int:
@@ -98,6 +169,7 @@ def _cmd_info(args, out) -> int:
         f"{config.system.processes_per_cpu} server processes\n"
         f"transactions:       {config.profile_transactions} profiled, "
         f"{config.measure_transactions} measured\n"
+        f"fingerprint:        {exp.fingerprint}\n"
     )
     profile = exp.profile
     out.write(
@@ -105,6 +177,7 @@ def _cmd_info(args, out) -> int:
         f"dynamic footprint "
         f"{_footprint_kb(profile)} KB\n"
     )
+    _emit_runlog(exp, args)
     return 0
 
 
@@ -122,22 +195,43 @@ def _cmd_figure(args, out) -> int:
     for name in names:
         for table in _FIGURES[name](exp):
             out.write(table.render() + "\n")
+    _emit_runlog(exp, args)
     return 0
 
 
 def _cmd_sweep(args, out) -> int:
     exp = _experiment(args)
+    _warm(exp)
     base = figures.fig04_cache_sweep(exp, "base")
     opt = figures.fig04_cache_sweep(exp, "all")
     out.write(figures.fig04_table(base, "base").render() + "\n")
     out.write(figures.fig04_table(opt, "all").render() + "\n")
     out.write(figures.fig05_relative(base, opt).render() + "\n")
+    _emit_runlog(exp, args)
     return 0
 
 
 def _cmd_ablation(args, out) -> int:
     exp = _experiment(args)
+    _warm(exp)
     out.write(figures.fig07_ablation(exp).render() + "\n")
+    _emit_runlog(exp, args)
+    return 0
+
+
+def _cmd_cache(args, out) -> int:
+    store = _store(args)
+    if args.action == "clear":
+        removed = store.clear()
+        out.write(f"cleared {removed} cached experiment(s) from {store.root}\n")
+        return 0
+    info = store.info()
+    out.write(
+        f"cache dir:    {info.root}\n"
+        f"experiments:  {info.experiments}\n"
+        f"files:        {info.files}\n"
+        f"total size:   {info.total_bytes / (1024 * 1024):.2f} MB\n"
+    )
     return 0
 
 
@@ -167,6 +261,7 @@ def main(argv=None, out=None) -> int:
         "figure": _cmd_figure,
         "sweep": _cmd_sweep,
         "ablation": _cmd_ablation,
+        "cache": _cmd_cache,
         "summary": _cmd_summary,
     }
     return handlers[args.command](args, out)

@@ -13,6 +13,11 @@ class LayoutError(ReproError):
     """A layout is inconsistent with the binary it claims to place."""
 
 
+class ConfigError(ReproError):
+    """An experiment configuration is inconsistent (e.g. a custom
+    workload factory without a cache salt to disambiguate it)."""
+
+
 class ProfileError(ReproError):
     """Profile data is missing or inconsistent with the binary."""
 

@@ -3,23 +3,52 @@
 from repro.harness.experiment import (
     Experiment,
     ExperimentConfig,
+    STREAM_SCOPES,
+    StreamSet,
     default_experiment,
     dss_experiment,
     quick_experiment,
     uniprocessor_experiment,
 )
 from repro.harness import figures
-from repro.harness.store import load_profile, load_trace, save_profile, save_trace
+from repro.harness.parallel import parallel_map, resolve_jobs
+from repro.harness.runlog import RunLog, StageRecord
+from repro.harness.store import (
+    ArtifactStore,
+    StoreInfo,
+    default_cache_dir,
+    load_layout,
+    load_profile,
+    load_program,
+    load_trace,
+    save_layout,
+    save_profile,
+    save_program,
+    save_trace,
+)
 
 __all__ = [
+    "ArtifactStore",
     "Experiment",
     "ExperimentConfig",
+    "RunLog",
+    "STREAM_SCOPES",
+    "StageRecord",
+    "StoreInfo",
+    "StreamSet",
+    "default_cache_dir",
     "default_experiment",
     "dss_experiment",
     "figures",
+    "load_layout",
     "load_profile",
+    "load_program",
     "load_trace",
+    "parallel_map",
+    "resolve_jobs",
+    "save_layout",
     "save_profile",
+    "save_program",
     "save_trace",
     "quick_experiment",
     "uniprocessor_experiment",

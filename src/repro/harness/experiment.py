@@ -5,24 +5,53 @@ application and kernel binaries, the Pixie profile (collected on its own
 profiling run, like the paper's 2000-transaction Pixie run), the
 optimized layouts, and the measurement trace (a separate run with a
 different request stream).  Every intermediate product is computed once
-and cached, so the per-figure benchmarks stay cheap.
+and cached in memory, so the per-figure benchmarks stay cheap.
+
+Attach an :class:`~repro.harness.store.ArtifactStore` (``store=`` or
+:meth:`Experiment.attach_store`) and the expensive stage products are
+*also* persisted on disk, keyed by :meth:`ExperimentConfig.fingerprint`:
+warm reruns of any figure load the compiled programs, profiles, trace,
+and per-combo layouts straight from the cache instead of regenerating
+them.  Every stage records wall time and cache hit/miss in the
+experiment's :class:`~repro.harness.runlog.RunLog`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
 from functools import lru_cache
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.errors import ConfigError, SimulationError
 from repro.execution import CombinedAddressMap, OltpSystem, SystemConfig, SystemTrace
+from repro.harness.runlog import CACHE_HIT, CACHE_MISS, CACHE_OFF, LOGGER, RunLog
+from repro.harness.store import (
+    ArtifactStore,
+    load_layout,
+    load_profile,
+    load_program,
+    load_trace,
+    save_layout,
+    save_profile,
+    save_program,
+    save_trace,
+)
 from repro.ir import Layout, assign_addresses, baseline_layout
-from repro.layout import SpikeOptimizer
+from repro.layout import Combo, SpikeOptimizer
 from repro.osmodel import KernelCodeConfig, build_kernel_program
 from repro.profiles import PixieProfiler, Profile
 from repro.progen import AppCodeConfig, CompiledProgram, build_app_program
 from repro.workloads import TpcbConfig
+
+#: Valid scopes for :meth:`Experiment.streams`.
+STREAM_SCOPES = ("app", "kernel", "combined", "per-process")
+
+#: Bump when the canonical fingerprint payload changes shape.
+_FINGERPRINT_VERSION = 1
 
 
 @dataclass
@@ -41,15 +70,91 @@ class ExperimentConfig:
     btree_order: int = 64
     #: Optional factory (tpcb_config, seed_offset) -> workload object;
     #: defaults to TPC-B.  Lets the same pipeline run other workloads
-    #: (e.g. the DSS comparison).
-    workload_factory: Optional[object] = None
+    #: (e.g. the DSS comparison).  Callables don't fingerprint, so any
+    #: config with a factory must also set :attr:`cache_salt`.
+    workload_factory: Optional[Callable[[TpcbConfig, int], object]] = None
+    #: Extra fingerprint salt.  Required when ``workload_factory`` is
+    #: set: it is excluded from the fingerprint, and without a salt a
+    #: DSS run would collide with the TPC-B cache entries.
+    cache_salt: str = ""
+
+    def fingerprint(self) -> str:
+        """Stable content hash of everything that shapes the pipeline
+        products (config -> canonical JSON -> sha256).
+
+        ``workload_factory`` is deliberately excluded — callables have
+        no stable serialized form — so configs that set it must provide
+        ``cache_salt`` to keep their cache entries distinct.
+        """
+        if self.workload_factory is not None and not self.cache_salt:
+            raise ConfigError(
+                "ExperimentConfig.workload_factory is set but cache_salt "
+                "is empty; set cache_salt (e.g. 'dss') so this config's "
+                "cache entries don't collide with the default workload's"
+            )
+        payload = {
+            "version": _FINGERPRINT_VERSION,
+            "app": asdict(self.app),
+            "kernel": asdict(self.kernel),
+            "tpcb": asdict(self.tpcb),
+            "system": asdict(self.system),
+            "profile_transactions": self.profile_transactions,
+            "measure_transactions": self.measure_transactions,
+            "warmup_transactions": self.warmup_transactions,
+            "pool_capacity": self.pool_capacity,
+            "btree_order": self.btree_order,
+            "cache_salt": self.cache_salt,
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:20]
+
+
+@dataclass(frozen=True)
+class StreamSet:
+    """Fetch-span streams for one (scope, combo, kernel_combo) cell.
+
+    Behaves like the historical list of per-CPU ``(starts, counts)``
+    pairs (iteration, indexing, ``len``) so it drops into every cache
+    simulator unchanged, while keeping the provenance on the object.
+    """
+
+    scope: str
+    combo: str
+    kernel_combo: str
+    streams: Tuple[Tuple[np.ndarray, np.ndarray], ...]
+
+    def __iter__(self):
+        return iter(self.streams)
+
+    def __len__(self) -> int:
+        return len(self.streams)
+
+    def __getitem__(self, index):
+        return self.streams[index]
+
+    @property
+    def instructions(self) -> int:
+        """Total instructions fetched across all streams."""
+        return int(sum(int(counts.sum()) for _, counts in self.streams))
 
 
 class Experiment:
     """Lazily computed pipeline with caching at every stage."""
 
-    def __init__(self, config: Optional[ExperimentConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[ExperimentConfig] = None,
+        *,
+        store: Optional[ArtifactStore] = None,
+        jobs: int = 1,
+    ) -> None:
         self.config = config or ExperimentConfig()
+        #: Disk cache for stage products (None disables persistence).
+        self.store = store
+        #: Worker processes used by the fanned-out figure sweeps.
+        self.jobs = jobs
+        self.runlog = RunLog()
+        self._fingerprint: Optional[str] = None
         self._app: Optional[CompiledProgram] = None
         self._kernel: Optional[CompiledProgram] = None
         self._profile: Optional[Profile] = None
@@ -61,18 +166,112 @@ class Experiment:
         self._amaps: Dict[Tuple[str, str], CombinedAddressMap] = {}
         self._trace: Optional[SystemTrace] = None
 
+    # -- cache plumbing -----------------------------------------------------
+
+    @property
+    def fingerprint(self) -> str:
+        """Content hash of the configuration (see ExperimentConfig)."""
+        if self._fingerprint is None:
+            self._fingerprint = self.config.fingerprint()
+        return self._fingerprint
+
+    def attach_store(self, store: Optional[ArtifactStore]) -> "Experiment":
+        """Set (or clear, with None) the persistent artifact store.
+
+        Products already computed in memory are written through to the
+        new store, so attaching late still populates the cache."""
+        self.store = store
+        self.persist()
+        return self
+
+    def persist(self) -> int:
+        """Write in-memory stage products missing from the store;
+        returns the number of artifacts written."""
+        if self.store is None:
+            return 0
+        artifacts = [
+            ("app.pkl", self._app, save_program),
+            ("kernel.pkl", self._kernel, save_program),
+            ("profile-app.npz", self._profile, save_profile),
+            ("profile-kernel.npz", self._kernel_profile, save_profile),
+            ("trace.npz", self._trace, save_trace),
+        ]
+        artifacts += [
+            (f"layout-{combo}.json", layout, save_layout)
+            for combo, layout in self._layouts.items()
+        ]
+        artifacts += [
+            (f"klayout-{combo}.json", layout, save_layout)
+            for combo, layout in self._kernel_layouts.items()
+            if combo != "base"  # baseline is trivial to rebuild
+        ]
+        written = 0
+        for name, obj, saver in artifacts:
+            if obj is not None and not self.store.has(self.fingerprint, name):
+                if self._store_save(name, obj, saver):
+                    written += 1
+        return written
+
+    def _store_load(self, name: str, loader):
+        """Load one artifact; any failure (missing, corrupt, stale)
+        degrades to a miss so the stage recomputes."""
+        if self.store is None:
+            return None
+        path = self.store.path(self.fingerprint, name)
+        if not path.is_file():
+            return None
+        try:
+            return loader(path)
+        except Exception as exc:  # corrupt/stale entries must not kill runs
+            LOGGER.warning("cache entry %s unreadable (%s); recomputing", path, exc)
+            return None
+
+    def _store_save(self, name: str, obj, saver) -> int:
+        """Persist one artifact; returns bytes written (0 when off)."""
+        if self.store is None:
+            return 0
+        try:
+            path = self.store.prepare(self.fingerprint, name)
+            saver(obj, path)
+            return path.stat().st_size
+        except OSError as exc:  # read-only cache dir etc.
+            LOGGER.warning("cannot persist %s (%s); continuing uncached", name, exc)
+            return 0
+
+    def _staged(self, stage: str, detail: str, name: str, loader, builder, saver):
+        """Run one cacheable stage: disk load, else build + persist."""
+        with self.runlog.stage(stage, detail) as record:
+            obj = self._store_load(name, loader)
+            if obj is not None:
+                record.cache = CACHE_HIT
+                return obj
+            obj = builder()
+            record.cache = CACHE_OFF if self.store is None else CACHE_MISS
+            record.bytes = self._store_save(name, obj, saver)
+            return obj
+
     # -- programs -----------------------------------------------------------
 
     @property
     def app(self) -> CompiledProgram:
         if self._app is None:
-            self._app = build_app_program(self.config.app)
+            self._app = self._staged(
+                "codegen", "app", "app.pkl",
+                loader=load_program,
+                builder=lambda: build_app_program(self.config.app),
+                saver=save_program,
+            )
         return self._app
 
     @property
     def kernel(self) -> CompiledProgram:
         if self._kernel is None:
-            self._kernel = build_kernel_program(self.config.kernel)
+            self._kernel = self._staged(
+                "codegen", "kernel", "kernel.pkl",
+                loader=load_program,
+                builder=lambda: build_kernel_program(self.config.kernel),
+                saver=save_program,
+            )
         return self._kernel
 
     # -- profiling run ----------------------------------------------------------
@@ -93,23 +292,45 @@ class Experiment:
         )
         return system.run(transactions, warmup=self.config.warmup_transactions)
 
+    def _profile_from_run(self) -> Tuple[Profile, Profile]:
+        """The profiling run: app profile + kernel profile (the paper
+        used kprofile during the transaction-processing section)."""
+        trace = self._run_system(self.config.profile_transactions, 0)
+        profiler = PixieProfiler(self.app.binary)
+        for stream in trace.per_process_app_streams():
+            profiler.add_stream(stream)
+        kernel_profiler = PixieProfiler(self.kernel.binary)
+        offset = trace.kernel_offset
+        for cpu in trace.cpus:
+            kernel_blocks = cpu.blocks[cpu.blocks >= offset] - offset
+            kernel_profiler.add_stream(kernel_blocks)
+        return profiler.profile(), kernel_profiler.profile()
+
     @property
     def profile(self) -> Profile:
         """Pixie profile of the application (profiling run)."""
         if self._profile is None:
-            trace = self._run_system(self.config.profile_transactions, 0)
-            profiler = PixieProfiler(self.app.binary)
-            for stream in trace.per_process_app_streams():
-                profiler.add_stream(stream)
-            self._profile = profiler.profile()
-            # Kernel profile from the same run (the paper used kprofile
-            # during the transaction-processing section).
-            kernel_profiler = PixieProfiler(self.kernel.binary)
-            offset = trace.kernel_offset
-            for cpu in trace.cpus:
-                kernel_blocks = cpu.blocks[cpu.blocks >= offset] - offset
-                kernel_profiler.add_stream(kernel_blocks)
-            self._kernel_profile = kernel_profiler.profile()
+            with self.runlog.stage("profile") as record:
+                app_profile = self._store_load(
+                    "profile-app.npz",
+                    lambda path: load_profile(self.app.binary, path),
+                )
+                kernel_profile = self._store_load(
+                    "profile-kernel.npz",
+                    lambda path: load_profile(self.kernel.binary, path),
+                )
+                if app_profile is not None and kernel_profile is not None:
+                    record.cache = CACHE_HIT
+                else:
+                    app_profile, kernel_profile = self._profile_from_run()
+                    record.cache = CACHE_OFF if self.store is None else CACHE_MISS
+                    record.bytes = self._store_save(
+                        "profile-app.npz", app_profile, save_profile
+                    ) + self._store_save(
+                        "profile-kernel.npz", kernel_profile, save_profile
+                    )
+                self._profile = app_profile
+                self._kernel_profile = kernel_profile
         return self._profile
 
     @property
@@ -134,24 +355,38 @@ class Experiment:
         return self._kernel_optimizer
 
     def layout(self, combo: str) -> Layout:
+        """The application layout for one combination.  Unknown combo
+        names raise LayoutError listing the valid ones."""
+        combo = Combo.parse(combo).value
         if combo not in self._layouts:
-            self._layouts[combo] = self.optimizer.layout(combo)
+            self._layouts[combo] = self._staged(
+                "layout", combo, f"layout-{combo}.json",
+                loader=lambda path: load_layout(path, self.app.binary),
+                builder=lambda: self.optimizer.layout(combo),
+                saver=save_layout,
+            )
         return self._layouts[combo]
 
     def kernel_layout(self, combo: str) -> Layout:
+        combo = Combo.parse(combo).value
         if combo not in self._kernel_layouts:
             if combo == "base":
                 self._kernel_layouts[combo] = baseline_layout(self.kernel.binary)
             else:
-                self._kernel_layouts[combo] = self.kernel_optimizer.layout(combo)
+                self._kernel_layouts[combo] = self._staged(
+                    "layout", f"kernel:{combo}", f"klayout-{combo}.json",
+                    loader=lambda path: load_layout(path, self.kernel.binary),
+                    builder=lambda: self.kernel_optimizer.layout(combo),
+                    saver=save_layout,
+                )
         return self._kernel_layouts[combo]
 
     def address_map(self, combo: str, kernel_combo: str = "base") -> CombinedAddressMap:
-        key = (combo, kernel_combo)
+        key = (Combo.parse(combo).value, Combo.parse(kernel_combo).value)
         if key not in self._amaps:
-            app_map = assign_addresses(self.app.binary, self.layout(combo))
+            app_map = assign_addresses(self.app.binary, self.layout(key[0]))
             kernel_map = assign_addresses(
-                self.kernel.binary, self.kernel_layout(kernel_combo)
+                self.kernel.binary, self.kernel_layout(key[1])
             )
             self._amaps[key] = CombinedAddressMap(app_map, kernel_map)
         return self._amaps[key]
@@ -162,43 +397,106 @@ class Experiment:
     def trace(self) -> SystemTrace:
         """The measurement run (distinct request stream from profiling)."""
         if self._trace is None:
-            self._trace = self._run_system(self.config.measure_transactions, 1)
+            self._trace = self._staged(
+                "trace", "", "trace.npz",
+                loader=load_trace,
+                builder=lambda: self._run_system(
+                    self.config.measure_transactions, 1
+                ),
+                saver=save_trace,
+            )
         return self._trace
 
     # -- streams for the cache simulators ----------------------------------------------
 
+    def streams(
+        self, combo: str = "base", *, scope: str, kernel_combo: str = "base"
+    ) -> StreamSet:
+        """Fetch-span streams for the cache simulators.
+
+        ``scope`` selects the address-space slice:
+
+        * ``"app"``         -- per-CPU application-only streams.
+        * ``"kernel"``      -- per-CPU kernel-only streams (laid out
+          with ``kernel_combo``).
+        * ``"combined"``    -- per-CPU app+OS streams.
+        * ``"per-process"`` -- per-process app-only streams
+          (single-CPU style studies).
+        """
+        combo = Combo.parse(combo).value
+        kernel_combo = Combo.parse(kernel_combo).value
+        if scope not in STREAM_SCOPES:
+            raise SimulationError(
+                f"unknown stream scope {scope!r}; "
+                f"valid scopes: {', '.join(STREAM_SCOPES)}"
+            )
+        amap = self.address_map(combo, kernel_combo)
+        if scope == "app":
+            spans = [
+                amap.expand_spans(
+                    cpu.blocks[cpu.blocks < self.trace.kernel_offset]
+                )
+                for cpu in self.trace.cpus
+            ]
+        elif scope == "kernel":
+            spans = [
+                amap.expand_spans(
+                    cpu.blocks[cpu.blocks >= self.trace.kernel_offset]
+                )
+                for cpu in self.trace.cpus
+            ]
+        elif scope == "combined":
+            spans = [amap.expand_spans(cpu.blocks) for cpu in self.trace.cpus]
+        else:  # per-process
+            spans = [
+                amap.expand_spans(blocks)
+                for blocks in self.trace.per_process_app_streams()
+            ]
+        return StreamSet(
+            scope=scope, combo=combo, kernel_combo=kernel_combo,
+            streams=tuple(spans),
+        )
+
+    # -- deprecated stream accessors ------------------------------------------------
+
+    def _deprecated(self, old: str, new: str) -> None:
+        import warnings
+
+        warnings.warn(
+            f"Experiment.{old}() is deprecated; use Experiment.{new}",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
     def app_streams(self, combo: str) -> List[Tuple[np.ndarray, np.ndarray]]:
-        """Per-CPU (starts, counts) for the application in isolation."""
-        amap = self.address_map(combo)
-        streams = []
-        for cpu in self.trace.cpus:
-            blocks = cpu.blocks[cpu.blocks < self.trace.kernel_offset]
-            streams.append(amap.expand_spans(blocks))
-        return streams
+        """Deprecated: use ``streams(combo, scope="app")``."""
+        self._deprecated("app_streams", f'streams({combo!r}, scope="app")')
+        return list(self.streams(combo, scope="app"))
 
     def kernel_streams(self, kernel_combo: str = "base") -> List[Tuple[np.ndarray, np.ndarray]]:
-        """Per-CPU (starts, counts) for the kernel in isolation."""
-        amap = self.address_map("base", kernel_combo)
-        streams = []
-        for cpu in self.trace.cpus:
-            blocks = cpu.blocks[cpu.blocks >= self.trace.kernel_offset]
-            streams.append(amap.expand_spans(blocks))
-        return streams
+        """Deprecated: use ``streams(scope="kernel", kernel_combo=...)``."""
+        self._deprecated(
+            "kernel_streams", f'streams(scope="kernel", kernel_combo={kernel_combo!r})'
+        )
+        return list(self.streams(scope="kernel", kernel_combo=kernel_combo))
 
     def combined_streams(
         self, combo: str, kernel_combo: str = "base"
     ) -> List[Tuple[np.ndarray, np.ndarray]]:
-        """Per-CPU (starts, counts) for the combined app+OS stream."""
-        amap = self.address_map(combo, kernel_combo)
-        return [amap.expand_spans(cpu.blocks) for cpu in self.trace.cpus]
+        """Deprecated: use ``streams(combo, scope="combined")``."""
+        self._deprecated(
+            "combined_streams", f'streams({combo!r}, scope="combined")'
+        )
+        return list(
+            self.streams(combo, scope="combined", kernel_combo=kernel_combo)
+        )
 
     def per_process_streams(self, combo: str):
-        """Per-process app-only spans (single-CPU style studies)."""
-        amap = self.address_map(combo)
-        return [
-            amap.expand_spans(blocks)
-            for blocks in self.trace.per_process_app_streams()
-        ]
+        """Deprecated: use ``streams(combo, scope="per-process")``."""
+        self._deprecated(
+            "per_process_streams", f'streams({combo!r}, scope="per-process")'
+        )
+        return list(self.streams(combo, scope="per-process"))
 
 
 @lru_cache(maxsize=1)
@@ -233,6 +531,7 @@ def dss_experiment() -> Experiment:
         workload_factory=lambda tpcb, _offset: DssWorkload(
             DssConfig(tpcb=tpcb)
         ),
+        cache_salt="dss",
     )
     return Experiment(config)
 

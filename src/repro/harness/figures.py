@@ -9,7 +9,7 @@ suite writes these next to the raw numbers).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -23,14 +23,15 @@ from repro.analysis import (
 from repro.cache import (
     CacheGeometry,
     ICacheResult,
+    simulate_direct_mapped,
     simulate_l1i_misses,
     simulate_l2,
     simulate_itlb,
     simulate_lru,
     simulate_dcache,
-    sweep_direct_mapped,
 )
 from repro.harness.experiment import Experiment
+from repro.harness.parallel import parallel_map
 from repro.layout import PAPER_COMBOS
 from repro.timing import (
     ALPHA_21164,
@@ -135,14 +136,63 @@ def fig03_execution_profile(exp: Experiment) -> Table:
     )
 
 
+# -- parallel fan-out ---------------------------------------------------------
+#
+# The sweep figures replay prepared streams through many independent
+# cache geometries.  The streams are materialized in the parent (one
+# trace replay per combo) and published through a module global; the
+# fork-based pool in parallel_map lets workers inherit them without
+# pickling multi-megabyte arrays.  Cells are pure functions of
+# (geometry, streams), and parallel_map preserves input order, so
+# --jobs N output is bit-identical to serial.
+
+_CELL_STREAMS: Dict[str, Sequence[Tuple[np.ndarray, np.ndarray]]] = {}
+
+
+def _publish_streams(streams: Dict[str, Sequence]) -> None:
+    _CELL_STREAMS.clear()
+    _CELL_STREAMS.update(streams)
+
+
+def _dm_cell(cell: Tuple[str, int, int]) -> int:
+    combo, size, line = cell
+    geometry = CacheGeometry(size, line, 1)
+    return sum(
+        simulate_direct_mapped(starts, counts, geometry)
+        for starts, counts in _CELL_STREAMS[combo]
+    )
+
+
+def _lru_cell(cell: Tuple[str, int, int, int]) -> int:
+    combo, size, line, assoc = cell
+    return simulate_lru(
+        _CELL_STREAMS[combo], CacheGeometry(size, line, assoc)
+    ).misses
+
+
+def _jobs(exp: Experiment, jobs: Optional[int]) -> Optional[int]:
+    return exp.jobs if jobs is None else jobs
+
+
 # -- Figures 4 and 5 ----------------------------------------------------------
 
 
-def fig04_cache_sweep(exp: Experiment, combo: str) -> Dict[Tuple[int, int], int]:
+def fig04_cache_sweep(
+    exp: Experiment, combo: str, jobs: Optional[int] = None
+) -> Dict[Tuple[int, int], int]:
     """Direct-mapped miss counts over the size x line grid (app only)."""
-    return sweep_direct_mapped(
-        exp.app_streams(combo), list(SWEEP_SIZES), list(SWEEP_LINES)
-    )
+    with exp.runlog.stage("sweep", f"fig04:{combo}"):
+        _publish_streams({combo: list(exp.streams(combo, scope="app"))})
+        try:
+            cells = [
+                (combo, size, line)
+                for size in SWEEP_SIZES
+                for line in SWEEP_LINES
+            ]
+            misses = parallel_map(_dm_cell, cells, jobs=_jobs(exp, jobs))
+        finally:
+            _publish_streams({})
+    return {(size, line): m for (_c, size, line), m in zip(cells, misses)}
 
 
 def fig04_table(grid: Dict[Tuple[int, int], int], combo: str) -> Table:
@@ -177,15 +227,30 @@ def fig05_relative(base_grid, opt_grid) -> Table:
 # -- Figure 6 -----------------------------------------------------------------
 
 
-def fig06_associativity(exp: Experiment) -> Table:
+def fig06_associativity(exp: Experiment, jobs: Optional[int] = None) -> Table:
+    combos = ("base", "all")
+    with exp.runlog.stage("sweep", "fig06"):
+        _publish_streams(
+            {combo: list(exp.streams(combo, scope="app")) for combo in combos}
+        )
+        try:
+            cells = [
+                (combo, size, 128, assoc)
+                for size in SWEEP_SIZES
+                for combo in combos
+                for assoc in (1, 4)
+            ]
+            misses = dict(
+                zip(cells, parallel_map(_lru_cell, cells, jobs=_jobs(exp, jobs)))
+            )
+        finally:
+            _publish_streams({})
     rows = []
     for size in SWEEP_SIZES:
         row = [size // 1024]
-        for combo in ("base", "all"):
-            streams = exp.app_streams(combo)
-            dm = simulate_lru(streams, CacheGeometry(size, 128, 1)).misses
-            w4 = simulate_lru(streams, CacheGeometry(size, 128, 4)).misses
-            row.extend([dm, w4])
+        for combo in combos:
+            row.append(misses[(combo, size, 128, 1)])
+            row.append(misses[(combo, size, 128, 4)])
         rows.append(row)
     return Table(
         title="Figure 6: impact of associativity (128B lines, app only)",
@@ -199,15 +264,30 @@ def fig06_associativity(exp: Experiment) -> Table:
 
 
 def fig07_ablation(
-    exp: Experiment, combos: Sequence[str] = PAPER_COMBOS
+    exp: Experiment,
+    combos: Sequence[str] = PAPER_COMBOS,
+    jobs: Optional[int] = None,
 ) -> Table:
+    with exp.runlog.stage("sweep", "fig07"):
+        _publish_streams(
+            {combo: list(exp.streams(combo, scope="app")) for combo in combos}
+        )
+        try:
+            cells = [
+                (combo, size, 128, 4)
+                for combo in combos
+                for size in SWEEP_SIZES
+            ]
+            misses = dict(
+                zip(cells, parallel_map(_lru_cell, cells, jobs=_jobs(exp, jobs)))
+            )
+        finally:
+            _publish_streams({})
     rows = []
     for combo in combos:
-        streams = exp.app_streams(combo)
-        row = [combo]
-        for size in SWEEP_SIZES:
-            row.append(simulate_lru(streams, CacheGeometry(size, 128, 4)).misses)
-        rows.append(row)
+        rows.append(
+            [combo] + [misses[(combo, size, 128, 4)] for size in SWEEP_SIZES]
+        )
     return Table(
         title="Figure 7: optimization ablation (128B lines, 4-way, app only)",
         columns=["combo"] + [f"{s // 1024}KB" for s in SWEEP_SIZES],
@@ -233,7 +313,7 @@ def fig08_sequences(exp: Experiment) -> Tuple[Table, Table]:
     stats = {}
     for combo in ("base", "all"):
         stats[combo] = merge_sequence_stats(
-            [sequence_lengths(s, c) for s, c in exp.app_streams(combo)]
+            [sequence_lengths(s, c) for s, c in exp.streams(combo, scope="app")]
         )
     summary = Table(
         title="Figure 8a: average sequentially executed instructions",
@@ -266,7 +346,7 @@ def fig08_sequences(exp: Experiment) -> Tuple[Table, Table]:
 
 def detailed_results(exp: Experiment, combo: str) -> ICacheResult:
     """Detailed 128KB/128B/4-way simulation of CPU 0's app stream."""
-    streams = exp.app_streams(combo)
+    streams = exp.streams(combo, scope="app")
     return simulate_lru([streams[0]], DETAIL_GEOMETRY, detail=True)
 
 
@@ -329,8 +409,8 @@ def fig11_lifetimes(base: ICacheResult, opt: ICacheResult) -> Table:
 
 
 def text_packing(exp: Experiment) -> Table:
-    base_lines = union_footprint_in_lines(exp.app_streams("base"), 128)
-    opt_lines = union_footprint_in_lines(exp.app_streams("all"), 128)
+    base_lines = union_footprint_in_lines(exp.streams("base", scope="app"), 128)
+    opt_lines = union_footprint_in_lines(exp.streams("all", scope="app"), 128)
     return Table(
         title="Text 4.1: footprint in unique 128B cache lines",
         columns=["binary", "lines", "KB"],
@@ -350,9 +430,9 @@ def fig12_combined(exp: Experiment, combo: str) -> Table:
     rows = []
     for size in SWEEP_SIZES:
         geometry = CacheGeometry(size, 128, 4)
-        combined = simulate_lru(exp.combined_streams(combo), geometry).misses
-        app_only = simulate_lru(exp.app_streams(combo), geometry).misses
-        kernel_only = simulate_lru(exp.kernel_streams(), geometry).misses
+        combined = simulate_lru(exp.streams(combo, scope="combined"), geometry).misses
+        app_only = simulate_lru(exp.streams(combo, scope="app"), geometry).misses
+        kernel_only = simulate_lru(exp.streams(scope="kernel"), geometry).misses
         rows.append([size // 1024, combined, app_only, kernel_only])
     return Table(
         title=f"Figure 12 ({combo}): combined app+OS I-cache misses (128B, 4-way)",
@@ -369,7 +449,7 @@ def fig12_combined(exp: Experiment, combo: str) -> Table:
 
 
 def fig13_interference(exp: Experiment, combo: str) -> Table:
-    result = simulate_lru(exp.combined_streams(combo), DETAIL_GEOMETRY)
+    result = simulate_lru(exp.streams(combo, scope="combined"), DETAIL_GEOMETRY)
     breakdown = InterferenceBreakdown.from_matrix(result.interference)
     rows = []
     for missing in ("kernel", "application", "both"):
@@ -397,7 +477,7 @@ def fig14_itlb_l2(exp: Experiment) -> Table:
     l2_geometry = CacheGeometry(1536 * 1024, 64, 6)
     l1_geometry = CacheGeometry(64 * 1024, 64, 2)
     for combo in ("base", "all"):
-        streams = exp.combined_streams(combo)
+        streams = exp.streams(combo, scope="combined")
         itlb = simulate_itlb(streams, entries=64).misses
         refills = []
         for cpu_index, (starts, counts) in enumerate(streams):
@@ -435,7 +515,7 @@ def fig15_exec_time(
     rels = {}
     for platform in platforms:
         breakdowns = {
-            combo: estimate_cycles(exp.combined_streams(combo), platform, data)
+            combo: estimate_cycles(exp.streams(combo, scope="combined"), platform, data)
             for combo in combos
         }
         rels[platform.name] = relative_execution_time(breakdowns)

@@ -1,0 +1,60 @@
+"""Deterministic process-level fan-out for independent sweep cells.
+
+The paper-scale figures replay the same measurement trace through many
+independent (layout combo x cache geometry) cells.  :func:`parallel_map`
+fans those cells across a ``ProcessPoolExecutor`` while keeping results
+**bit-identical to serial execution**: the input order defines the
+output order, each cell is a pure function of its arguments, and the
+pool uses the ``fork`` start method so workers inherit the parent's
+prepared streams without re-deriving anything.
+
+When ``jobs <= 1``, ``fork`` is unavailable (e.g. Windows), or there is
+only one cell, the map degrades to a plain serial comprehension — the
+same function applied in the same order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, List, Optional, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a job-count request: ``None``/``0`` -> 1 (serial),
+    negative -> one worker per CPU."""
+    if not jobs:
+        return 1
+    if jobs < 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def fork_available() -> bool:
+    """True when the deterministic ``fork`` start method exists."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    jobs: Optional[int] = None,
+    chunksize: int = 1,
+) -> List[R]:
+    """Order-preserving map over independent items.
+
+    ``fn`` must be a module-level (picklable) function.  Results are
+    returned in input order regardless of completion order, so parallel
+    runs reproduce serial output exactly.
+    """
+    work = list(items)
+    workers = min(resolve_jobs(jobs), len(work))
+    if workers <= 1 or not fork_available():
+        return [fn(item) for item in work]
+    context = multiprocessing.get_context("fork")
+    with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+        return list(pool.map(fn, work, chunksize=chunksize))

@@ -1,0 +1,98 @@
+"""Per-stage observability for the experiment pipeline.
+
+Every expensive stage of an :class:`~repro.harness.Experiment` —
+codegen, the profiling run, the measurement trace, per-combo layouts,
+fanned-out sweeps — records a :class:`StageRecord` (wall time, cache
+hit/miss, bytes persisted) in the experiment's :class:`RunLog`.  Each
+record is also emitted through the ``repro.harness`` logger as it
+completes, so long ``--full`` runs show progress live; the CLI renders
+the collected log as a summary table after each command.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+LOGGER = logging.getLogger("repro.harness")
+
+#: Cache states a stage can report.
+CACHE_HIT = "hit"
+CACHE_MISS = "miss"
+CACHE_OFF = "off"
+
+
+@dataclass
+class StageRecord:
+    """One pipeline stage execution."""
+
+    stage: str
+    detail: str = ""
+    seconds: float = 0.0
+    cache: str = CACHE_OFF
+    bytes: int = 0
+
+    def describe(self) -> str:
+        label = f"{self.stage}[{self.detail}]" if self.detail else self.stage
+        text = f"{label}: {self.seconds:.3f}s cache={self.cache}"
+        if self.bytes:
+            text += f" bytes={self.bytes}"
+        return text
+
+
+class RunLog:
+    """Ordered collection of stage records for one experiment."""
+
+    def __init__(self) -> None:
+        self.records: List[StageRecord] = []
+
+    @contextmanager
+    def stage(self, stage: str, detail: str = "") -> Iterator[StageRecord]:
+        """Time one stage; the body sets ``cache``/``bytes`` on the record."""
+        record = StageRecord(stage=stage, detail=detail)
+        start = time.perf_counter()
+        try:
+            yield record
+        finally:
+            record.seconds = time.perf_counter() - start
+            self.records.append(record)
+            LOGGER.info("%s", record.describe())
+
+    def cache_states(self, stage: Optional[str] = None) -> List[str]:
+        """Cache states of all records (optionally for one stage)."""
+        return [
+            r.cache for r in self.records if stage is None or r.stage == stage
+        ]
+
+    def all_hits(self, *stages: str) -> bool:
+        """True when every record of each named stage was a cache hit."""
+        for stage in stages:
+            states = self.cache_states(stage)
+            if not states or any(state != CACHE_HIT for state in states):
+                return False
+        return True
+
+    def total_seconds(self) -> float:
+        return sum(r.seconds for r in self.records)
+
+    def render(self, header: str = "pipeline stages") -> str:
+        """The log as an aligned text table."""
+        columns = ("stage", "detail", "cache", "seconds", "bytes")
+        rows = [
+            (r.stage, r.detail or "-", r.cache, f"{r.seconds:.3f}",
+             str(r.bytes) if r.bytes else "-")
+            for r in self.records
+        ]
+        widths = [
+            max(len(col), *(len(row[i]) for row in rows)) if rows else len(col)
+            for i, col in enumerate(columns)
+        ]
+        lines = [f"{header} ({len(rows)} stages, "
+                 f"{self.total_seconds():.3f}s total)"]
+        lines.append("  ".join(c.ljust(w) for c, w in zip(columns, widths)))
+        for row in rows:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+        return "\n".join(lines) + "\n"

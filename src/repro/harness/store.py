@@ -9,19 +9,37 @@ regeneration.
 File format: a single compressed ``.npz`` whose arrays are prefixed by
 kind (``cpu{i}_blocks``, ``cpu{i}_pids``, ``data{i}_addr``, ...), plus
 a metadata array.  Profiles store the block-count array and the edge
-dictionary as parallel arrays.
+dictionary as parallel arrays.  Layouts serialize to JSON (unit names,
+block ids, padding); compiled programs to stdlib pickle.
+
+:class:`ArtifactStore` arranges these files into a content-addressed
+cache directory keyed by ``ExperimentConfig.fingerprint()``, so warm
+reruns of any figure skip codegen, profiling, and tracing entirely::
+
+    <root>/<fingerprint>/app.pkl           compiled application
+    <root>/<fingerprint>/kernel.pkl        compiled kernel
+    <root>/<fingerprint>/profile-app.npz   Pixie profile (app)
+    <root>/<fingerprint>/profile-kernel.npz
+    <root>/<fingerprint>/trace.npz         measurement trace
+    <root>/<fingerprint>/layout-<combo>.json
+    <root>/<fingerprint>/klayout-<combo>.json
 """
 
 from __future__ import annotations
 
+import json
+import os
 import pathlib
+import pickle
+import shutil
+from dataclasses import dataclass
 from typing import Union
 
 import numpy as np
 
 from repro.errors import SimulationError
 from repro.execution.trace import CpuTrace, SystemTrace
-from repro.ir import Binary
+from repro.ir import Binary, CodeUnit, Layout
 from repro.profiles import Profile
 
 PathLike = Union[str, pathlib.Path]
@@ -108,3 +126,142 @@ def load_profile(binary: Binary, path: PathLike) -> Profile:
         ):
             profile.edge_counts[(src, dst)] = count
     return profile
+
+
+def save_layout(layout: Layout, path: PathLike) -> None:
+    """Serialize a Layout to JSON."""
+    payload = {
+        "name": layout.name,
+        "alignment": layout.alignment,
+        "units": [
+            {
+                "name": unit.name,
+                "proc_name": unit.proc_name,
+                "block_ids": list(unit.block_ids),
+                "is_entry": unit.is_entry,
+                "pad_before": unit.pad_before,
+            }
+            for unit in layout.units
+        ],
+    }
+    pathlib.Path(path).write_text(json.dumps(payload))
+
+
+def load_layout(path: PathLike, binary: Binary = None) -> Layout:
+    """Load a Layout written by :func:`save_layout`.
+
+    When ``binary`` is given the layout is validated against it; a
+    layout for a different generated binary raises ``LayoutError``
+    (which cache readers treat as a miss).
+    """
+    payload = json.loads(pathlib.Path(path).read_text())
+    layout = Layout(
+        units=[
+            CodeUnit(
+                name=unit["name"],
+                proc_name=unit["proc_name"],
+                block_ids=tuple(unit["block_ids"]),
+                is_entry=unit["is_entry"],
+                pad_before=unit["pad_before"],
+            )
+            for unit in payload["units"]
+        ],
+        alignment=payload["alignment"],
+        name=payload["name"],
+    )
+    if binary is not None:
+        layout.validate_against(binary)
+    return layout
+
+
+def save_program(program, path: PathLike) -> None:
+    """Serialize a CompiledProgram (binary + routine specs) to pickle."""
+    with open(path, "wb") as handle:
+        pickle.dump(program, handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def load_program(path: PathLike):
+    """Load a CompiledProgram written by :func:`save_program`."""
+    with open(path, "rb") as handle:
+        return pickle.load(handle)
+
+
+def default_cache_dir() -> pathlib.Path:
+    """The default artifact cache location.
+
+    ``$REPRO_CACHE_DIR`` wins; otherwise ``$XDG_CACHE_HOME/repro``
+    (``~/.cache/repro``).
+    """
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return pathlib.Path(override).expanduser()
+    base = os.environ.get("XDG_CACHE_HOME") or "~/.cache"
+    return pathlib.Path(base).expanduser() / "repro"
+
+
+@dataclass
+class StoreInfo:
+    """Summary of an :class:`ArtifactStore`'s contents."""
+
+    root: pathlib.Path
+    experiments: int
+    files: int
+    total_bytes: int
+
+
+class ArtifactStore:
+    """Content-addressed, on-disk cache for pipeline artifacts.
+
+    Entries are keyed by ``(fingerprint, name)`` where the fingerprint
+    is :meth:`ExperimentConfig.fingerprint` and the name identifies the
+    stage product (``trace.npz``, ``layout-all.json``, ...).  The store
+    only provides paths and bookkeeping; serialization stays in the
+    module-level ``save_*``/``load_*`` helpers so artifacts remain
+    readable without a store.
+    """
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = pathlib.Path(root).expanduser()
+
+    def path(self, fingerprint: str, name: str) -> pathlib.Path:
+        """Where the artifact for ``(fingerprint, name)`` lives."""
+        return self.root / fingerprint / name
+
+    def has(self, fingerprint: str, name: str) -> bool:
+        return self.path(fingerprint, name).is_file()
+
+    def prepare(self, fingerprint: str, name: str) -> pathlib.Path:
+        """The artifact path, with its directory created."""
+        path = self.path(fingerprint, name)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        return path
+
+    def info(self) -> StoreInfo:
+        """Count cached experiments, files, and bytes."""
+        experiments = files = total = 0
+        if self.root.is_dir():
+            for entry in sorted(self.root.iterdir()):
+                if not entry.is_dir():
+                    continue
+                experiments += 1
+                for artifact in entry.iterdir():
+                    if artifact.is_file():
+                        files += 1
+                        total += artifact.stat().st_size
+        return StoreInfo(
+            root=self.root, experiments=experiments,
+            files=files, total_bytes=total,
+        )
+
+    def clear(self) -> int:
+        """Delete every cached artifact; returns experiments removed."""
+        removed = 0
+        if self.root.is_dir():
+            for entry in list(self.root.iterdir()):
+                if entry.is_dir():
+                    shutil.rmtree(entry)
+                    removed += 1
+        return removed
+
+    def __repr__(self) -> str:
+        return f"ArtifactStore({str(self.root)!r})"

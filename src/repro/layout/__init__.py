@@ -2,6 +2,7 @@
 
 from repro.layout.cfa import CfaReport, cfa_layout
 from repro.layout.coloring import ColoringReport, color_layout
+from repro.layout.combos import Combo
 from repro.layout.joint import JointPlacementReport, choose_kernel_offset
 from repro.layout.temporal import build_trg, temporal_order
 from repro.layout.chaining import ChainingResult, chain_blocks
@@ -17,6 +18,7 @@ from repro.layout.splitting import split_chains, split_procedure_source_order
 __all__ = [
     "ALL_COMBOS",
     "CfaReport",
+    "Combo",
     "ColoringReport",
     "JointPlacementReport",
     "ChainingResult",

@@ -1,0 +1,71 @@
+"""The optimization-combination registry.
+
+Historically every API taking a combination ("base", "chain+split",
+"all", ...) accepted a bare string and an unknown name surfaced as a
+``KeyError`` deep inside the optimizer.  :class:`Combo` names the valid
+combinations once; :meth:`Combo.parse` accepts either a :class:`Combo`
+member or any of the historical strings and raises a
+:class:`~repro.errors.LayoutError` that lists the valid names.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Tuple, Union
+
+from repro.errors import LayoutError
+
+
+class Combo(str, Enum):
+    """One of the paper's optimization combinations.
+
+    Members compare equal to (and serialize as) their historical string
+    names, so existing call sites keep passing plain strings.
+    """
+
+    BASE = "base"
+    PORDER = "porder"
+    CHAIN = "chain"
+    SPLIT = "split"
+    CHAIN_SPLIT = "chain+split"
+    CHAIN_PORDER = "chain+porder"
+    ALL = "all"
+    HOTCOLD = "hotcold"
+
+    def __str__(self) -> str:  # "all", not "Combo.ALL"
+        return self.value
+
+    @classmethod
+    def parse(cls, value: Union["Combo", str]) -> "Combo":
+        """Normalize a combo name, rejecting unknown ones loudly."""
+        if isinstance(value, Combo):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            raise LayoutError(
+                f"unknown optimization combination {value!r}; "
+                f"valid combos: {', '.join(c.value for c in cls)}"
+            ) from None
+
+    @classmethod
+    def names(cls) -> Tuple[str, ...]:
+        """All valid combination names, in definition order."""
+        return tuple(c.value for c in cls)
+
+
+#: The combinations shown on the paper's Figure 7 / Figure 15 x-axes.
+PAPER_COMBOS: Tuple[str, ...] = (
+    Combo.BASE.value,
+    Combo.PORDER.value,
+    Combo.CHAIN.value,
+    Combo.CHAIN_SPLIT.value,
+    Combo.CHAIN_PORDER.value,
+    Combo.ALL.value,
+)
+
+#: Every supported combination (paper axes plus the two extras).
+ALL_COMBOS: Tuple[str, ...] = PAPER_COMBOS + (
+    Combo.SPLIT.value,
+    Combo.HOTCOLD.value,
+)

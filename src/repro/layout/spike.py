@@ -33,15 +33,11 @@ from repro.ir import (
 )
 from repro.layout.cfa import CfaReport, cfa_layout
 from repro.layout.chaining import ChainingResult, chain_blocks
+from repro.layout.combos import ALL_COMBOS, PAPER_COMBOS, Combo
 from repro.layout.hotcold import split_hot_cold
 from repro.layout.ordering import DEFAULT_MAX_DISPLACEMENT, OrderingResult, order_units
 from repro.layout.splitting import split_chains, split_procedure_source_order
 from repro.profiles import Profile
-
-#: The combinations shown on the paper's Figure 7 / Figure 15 x-axes.
-PAPER_COMBOS = ("base", "porder", "chain", "chain+split", "chain+porder", "all")
-
-ALL_COMBOS = PAPER_COMBOS + ("split", "hotcold")
 
 
 class SpikeOptimizer:
@@ -147,7 +143,13 @@ class SpikeOptimizer:
     # -- the pipelines ----------------------------------------------------
 
     def layout(self, combo: str) -> Layout:
-        """Produce the layout for one optimization combination."""
+        """Produce the layout for one optimization combination.
+
+        ``combo`` may be a :class:`~repro.layout.Combo` member or one of
+        the historical strings; unknown names raise a
+        :class:`~repro.errors.LayoutError` listing the valid combos.
+        """
+        combo = Combo.parse(combo).value
         if combo == "base":
             return baseline_layout(self.binary, alignment=self.proc_alignment)
         if combo == "porder":
@@ -178,7 +180,7 @@ class SpikeOptimizer:
             return self._ordered(self._hotcold_units(), combo)
         raise LayoutError(
             f"unknown optimization combination {combo!r}; "
-            f"choose from {', '.join(ALL_COMBOS)}"
+            f"valid combos: {', '.join(Combo.names())}"
         )
 
     def layouts(self, combos: Sequence[str] = PAPER_COMBOS) -> Dict[str, Layout]:

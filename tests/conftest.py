@@ -1,6 +1,16 @@
 """Shared test configuration."""
 
+import os
+import tempfile
+
 from hypothesis import HealthCheck, settings
+
+# Keep the suite hermetic: CLI invocations default to the persistent
+# artifact cache, so point it at a throwaway directory for the whole
+# test session instead of the user's ~/.cache.
+os.environ.setdefault(
+    "REPRO_CACHE_DIR", tempfile.mkdtemp(prefix="repro-test-cache-")
+)
 
 # Cache/trace property tests do real simulation work per example; give
 # them room and keep CI deterministic.

@@ -56,6 +56,47 @@ class TestCli:
         assert "128B cache lines" in text
 
 
+class TestCacheAndJobsFlags:
+    def test_cache_info_empty(self, tmp_path):
+        code, text = run_cli("--cache-dir", str(tmp_path / "c"), "cache", "info")
+        assert code == 0
+        assert "experiments:  0" in text
+
+    def test_cache_populated_and_cleared(self, tmp_path):
+        cache = str(tmp_path / "c")
+        code, _ = run_cli("--cache-dir", cache, "--quiet", "ablation")
+        assert code == 0
+        code, text = run_cli("--cache-dir", cache, "cache", "info")
+        assert code == 0
+        assert "experiments:  1" in text
+        code, text = run_cli("--cache-dir", cache, "cache", "clear")
+        assert code == 0
+        assert "cleared 1" in text
+        code, text = run_cli("--cache-dir", cache, "cache", "info")
+        assert "experiments:  0" in text
+
+    def test_jobs_output_matches_serial(self):
+        code_serial, serial = run_cli("--no-cache", "--quiet", "ablation")
+        code_jobs, parallel = run_cli(
+            "--no-cache", "--quiet", "--jobs", "4", "ablation"
+        )
+        assert code_serial == code_jobs == 0
+        assert parallel == serial
+
+    def test_runlog_rendered_to_stderr(self, capsys):
+        code, text = run_cli("--no-cache", "figure", "fig03")
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "run log:" in captured.err
+        assert "codegen" in captured.err
+        assert "run log:" not in text  # tables stay clean on stdout
+
+    def test_info_reports_fingerprint(self):
+        code, text = run_cli("--quiet", "info")
+        assert code == 0
+        assert "fingerprint:" in text
+
+
 class TestSummaryCommand:
     def test_summary_missing_dir(self, tmp_path):
         code, text = run_cli("summary", "--results-dir", str(tmp_path / "none"))

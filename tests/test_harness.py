@@ -75,6 +75,67 @@ class TestPipelineProducts:
         assert amap is exp.address_map("all", "all")
 
 
+class TestStreamsApi:
+    def test_streamset_provenance(self, exp):
+        streams = exp.streams("base", scope="app")
+        assert (streams.scope, streams.combo, streams.kernel_combo) == \
+            ("app", "base", "base")
+        assert len(streams) == exp.config.system.cpus
+        assert streams.instructions > 0
+
+    def test_streams_matches_deprecated_wrappers(self, exp):
+        new = exp.streams("base", scope="app")
+        with pytest.warns(DeprecationWarning):
+            old = exp.app_streams("base")
+        assert len(old) == len(new)
+        for (old_s, old_c), (new_s, new_c) in zip(old, new):
+            assert np.array_equal(old_s, new_s)
+            assert np.array_equal(old_c, new_c)
+
+    def test_all_deprecated_wrappers_warn(self, exp):
+        with pytest.warns(DeprecationWarning):
+            exp.kernel_streams()
+        with pytest.warns(DeprecationWarning):
+            exp.combined_streams("base")
+        with pytest.warns(DeprecationWarning):
+            exp.per_process_streams("base")
+
+    def test_combined_scope_includes_kernel(self, exp):
+        from repro.osmodel import KERNEL_BASE
+
+        for starts, _counts in exp.streams("base", scope="combined"):
+            assert (starts >= KERNEL_BASE).any()
+
+    def test_kernel_scope_all_kernel(self, exp):
+        from repro.osmodel import KERNEL_BASE
+
+        for starts, _counts in exp.streams(scope="kernel"):
+            assert (starts >= KERNEL_BASE).all()
+
+    def test_per_process_scope_one_stream_per_process(self, exp):
+        streams = exp.streams("base", scope="per-process")
+        assert len(streams) == len(exp.trace.per_process_app_streams())
+
+    def test_unknown_scope_rejected(self, exp):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError, match="per-process"):
+            exp.streams("base", scope="bogus")
+
+    def test_unknown_combo_lists_valid_names(self, exp):
+        from repro.errors import LayoutError
+
+        with pytest.raises(LayoutError, match="chain\\+split"):
+            exp.streams("bogus", scope="app")
+        with pytest.raises(LayoutError, match="valid combos"):
+            exp.layout("nope")
+
+    def test_combo_enum_accepted(self, exp):
+        from repro.layout import Combo
+
+        assert exp.layout(Combo.ALL) is exp.layout("all")
+
+
 class TestFigureAssembly:
     def test_fig03(self, exp):
         table = figures.fig03_execution_profile(exp)

@@ -30,7 +30,7 @@ def exp():
 def dm_misses(exp, combo, size_kb=32, line=128):
     geometry = CacheGeometry(size_kb * 1024, line, 1)
     return sum(
-        simulate_direct_mapped(s, c, geometry) for s, c in exp.app_streams(combo)
+        simulate_direct_mapped(s, c, geometry) for s, c in exp.streams(combo, scope="app")
     )
 
 
@@ -51,22 +51,22 @@ class TestHeadlineRegression:
 
     def test_sequence_lengths_band(self, exp):
         base = merge_sequence_stats(
-            [sequence_lengths(s, c) for s, c in exp.app_streams("base")]
+            [sequence_lengths(s, c) for s, c in exp.streams("base", scope="app")]
         )
         optimized = merge_sequence_stats(
-            [sequence_lengths(s, c) for s, c in exp.app_streams("all")]
+            [sequence_lengths(s, c) for s, c in exp.streams("all", scope="app")]
         )
         assert 5.0 < base.mean_length < 11.0
         assert optimized.mean_length > 1.2 * base.mean_length
 
     def test_packing_improves(self, exp):
-        base_lines = union_footprint_in_lines(exp.app_streams("base"), 128)
-        opt_lines = union_footprint_in_lines(exp.app_streams("all"), 128)
+        base_lines = union_footprint_in_lines(exp.streams("base", scope="app"), 128)
+        opt_lines = union_footprint_in_lines(exp.streams("all", scope="app"), 128)
         assert opt_lines < base_lines
 
     def test_itlb_improves(self, exp):
-        base = simulate_itlb(exp.combined_streams("base"), entries=16).misses
-        optimized = simulate_itlb(exp.combined_streams("all"), entries=16).misses
+        base = simulate_itlb(exp.streams("base", scope="combined"), entries=16).misses
+        optimized = simulate_itlb(exp.streams("all", scope="combined"), entries=16).misses
         assert optimized < base
 
     def test_kernel_fraction_band(self, exp):
@@ -95,7 +95,7 @@ class TestHeadlineRegression:
                                        "chain+split", "chain+porder", "all",
                                        "split", "hotcold"])
     def test_every_combo_replayable(self, exp, combo):
-        streams = exp.app_streams(combo)
+        streams = exp.streams(combo, scope="app")
         for starts, counts in streams:
             assert (starts >= 0).all()
             assert (counts >= 0).all()
