@@ -54,7 +54,10 @@ def uni_exp():
 
 
 def save_table(table, name, results_dir):
+    from repro.harness import write_benchmark_json
+
     text = table.render()
     (results_dir / f"{name}.txt").write_text(text)
+    write_benchmark_json(name, table, results_dir)
     print("\n" + text)
     return text

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.errors import SimulationError
 from repro.ir import AddressMap, INSTRUCTION_BYTES
+from repro.ir.layout import trace_fetch_counts
 from repro.osmodel.kernel import KERNEL_BASE
 
 #: Process id used for kernel-initiated work with no process context.
@@ -111,14 +112,9 @@ class CombinedAddressMap:
 
     def fetch_counts(self, blocks: np.ndarray) -> np.ndarray:
         """Instructions fetched per trace entry (vectorized)."""
-        counts = self.n_fetch[blocks].astype(np.int64)
-        if len(blocks) >= 2:
-            nxt = blocks[1:]
-            special = self.taken_succ[blocks[:-1]] == nxt
-            if special.any():
-                idx = np.nonzero(special)[0]
-                counts[idx] = self.n_fetch_taken[blocks[idx]]
-        return counts
+        return trace_fetch_counts(
+            self.n_fetch, self.taken_succ, self.n_fetch_taken, blocks
+        )
 
     def expand_spans(self, blocks: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """(start_address, instruction_count) per trace entry."""

@@ -12,6 +12,11 @@ from repro.harness.experiment import (
 )
 from repro.harness import figures
 from repro.harness.parallel import parallel_map, resolve_jobs
+from repro.harness.results import (
+    RESULTS_SCHEMA_VERSION,
+    table_payload,
+    write_benchmark_json,
+)
 from repro.harness.runlog import RunLog, StageRecord
 from repro.harness.store import (
     ArtifactStore,
@@ -31,6 +36,7 @@ __all__ = [
     "ArtifactStore",
     "Experiment",
     "ExperimentConfig",
+    "RESULTS_SCHEMA_VERSION",
     "RunLog",
     "STREAM_SCOPES",
     "StageRecord",
@@ -50,6 +56,8 @@ __all__ = [
     "save_profile",
     "save_program",
     "save_trace",
+    "table_payload",
     "quick_experiment",
     "uniprocessor_experiment",
+    "write_benchmark_json",
 ]

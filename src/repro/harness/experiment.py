@@ -50,6 +50,18 @@ from repro.workloads import TpcbConfig
 #: Valid scopes for :meth:`Experiment.streams`.
 STREAM_SCOPES = ("app", "kernel", "combined", "per-process")
 
+#: Legacy ``*_streams`` wrappers that already warned this process.
+#: Each deprecated accessor warns exactly once per process — a sweep
+#: calling ``app_streams`` per cache size must not bury its output in
+#: hundreds of identical warnings.
+_DEPRECATION_WARNED: set = set()
+
+
+def reset_deprecation_warnings() -> None:
+    """Let the once-per-process deprecation warnings fire again
+    (testing hook)."""
+    _DEPRECATION_WARNED.clear()
+
 #: Bump when the canonical fingerprint payload changes shape.
 _FINGERPRINT_VERSION = 1
 
@@ -462,6 +474,9 @@ class Experiment:
     def _deprecated(self, old: str, new: str) -> None:
         import warnings
 
+        if old in _DEPRECATION_WARNED:
+            return
+        _DEPRECATION_WARNED.add(old)
         warnings.warn(
             f"Experiment.{old}() is deprecated; use Experiment.{new}",
             DeprecationWarning,

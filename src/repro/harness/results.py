@@ -1,0 +1,57 @@
+"""Machine-readable benchmark results.
+
+Every benchmark table saved under ``benchmarks/results/`` has always
+been a rendered ``.txt`` — fine for eyeballing, useless for tooling.
+:func:`write_benchmark_json` emits the same result as
+``BENCH_<name>.json`` with a small stable schema, so CI jobs and
+notebooks can assert on numbers instead of parsing aligned columns.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, Optional, Union
+
+from repro.harness.figures import Table
+
+PathLike = Union[str, pathlib.Path]
+
+#: Bump when the JSON document shape changes.
+RESULTS_SCHEMA_VERSION = 1
+
+
+def table_payload(table: Table) -> Dict:
+    """A benchmark :class:`~repro.harness.figures.Table` as plain data."""
+    return {
+        "title": table.title,
+        "columns": list(table.columns),
+        "rows": [list(row) for row in table.rows],
+        "notes": list(table.notes),
+    }
+
+
+def write_benchmark_json(
+    name: str,
+    payload: Union[Table, Dict],
+    results_dir: PathLike,
+    extra: Optional[Dict] = None,
+) -> pathlib.Path:
+    """Write ``BENCH_<name>.json`` under ``results_dir``.
+
+    ``payload`` is either a :class:`~repro.harness.figures.Table`
+    (converted via :func:`table_payload`) or an already-structured
+    dict (e.g. an online report's ``to_dict()``).  ``extra`` keys are
+    merged in at the top level.  Returns the written path.
+    """
+    if isinstance(payload, Table):
+        payload = table_payload(payload)
+    document = {"schema": RESULTS_SCHEMA_VERSION, "name": name}
+    document.update(payload)
+    if extra:
+        document.update(extra)
+    results_dir = pathlib.Path(results_dir)
+    results_dir.mkdir(parents=True, exist_ok=True)
+    path = results_dir / f"BENCH_{name}.json"
+    path.write_text(json.dumps(document, indent=2, sort_keys=False) + "\n")
+    return path

@@ -16,6 +16,7 @@ from repro.ir.layout import (
     Layout,
     assign_addresses,
     baseline_layout,
+    trace_fetch_counts,
 )
 from repro.ir.procedure import Procedure
 
@@ -37,4 +38,5 @@ __all__ = [
     "build_unit_call_graph",
     "flow_graph_from_block_counts",
     "flow_graph_from_edge_counts",
+    "trace_fetch_counts",
 ]

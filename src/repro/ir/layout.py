@@ -162,6 +162,40 @@ class AddressMap:
         fetched = self.fetched(bid, next_bid)
         return int(self.addr[next_bid]) == int(self.addr[bid]) + fetched * INSTRUCTION_BYTES
 
+    def fetch_counts(self, blocks: np.ndarray) -> np.ndarray:
+        """Instructions fetched per trace entry (vectorized
+        :meth:`fetched` over a whole block trace)."""
+        return trace_fetch_counts(
+            self.n_fetch, self.taken_succ, self.n_fetch_taken, blocks
+        )
+
+    def expand_spans(self, blocks: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """(start_address, instruction_count) per trace entry."""
+        return self.addr[blocks], self.fetch_counts(blocks)
+
+
+def trace_fetch_counts(
+    n_fetch: np.ndarray,
+    taken_succ: np.ndarray,
+    n_fetch_taken: np.ndarray,
+    blocks: np.ndarray,
+) -> np.ndarray:
+    """Instructions fetched per entry of a block trace.
+
+    The default span of block ``b`` is ``n_fetch[b]``; when the trace's
+    next block is ``b``'s recorded taken successor, the taken-path span
+    ``n_fetch_taken[b]`` applies instead (e.g. the taken path skips an
+    appended fall-through branch).  Shared by :class:`AddressMap` and
+    the execution layer's combined app+kernel map.
+    """
+    counts = n_fetch[blocks].astype(np.int64)
+    if len(blocks) >= 2:
+        special = taken_succ[blocks[:-1]] == blocks[1:]
+        if special.any():
+            idx = np.nonzero(special)[0]
+            counts[idx] = n_fetch_taken[blocks[idx]]
+    return counts
+
 
 def assign_addresses(binary: Binary, layout: Layout) -> AddressMap:
     """Place a layout in the address space, applying branch fixups.

@@ -78,14 +78,52 @@ class SpikeOptimizer:
         return flow_graph_from_block_counts(proc, self.profile.block_counts)
 
     def chainings(self) -> Dict[str, ChainingResult]:
-        """Chaining result per procedure (cached)."""
+        """Chaining result per procedure (cached, filled on demand).
+
+        Entries seeded via :meth:`reuse_chainings` are kept as-is;
+        only procedures without a cached result are chained against
+        this optimizer's profile.
+        """
         if self._chain_cache is None:
-            counts = self.profile.block_counts
-            self._chain_cache = {
-                name: chain_blocks(self.binary.proc(name), self.flow_graph(name), counts)
-                for name in self.binary.proc_order()
-            }
-        return self._chain_cache
+            self._chain_cache = {}
+        cache = self._chain_cache
+        counts = self.profile.block_counts
+        for name in self.binary.proc_order():
+            if name not in cache:
+                cache[name] = chain_blocks(
+                    self.binary.proc(name), self.flow_graph(name), counts
+                )
+        return cache
+
+    def reuse_chainings(
+        self, source: "SpikeOptimizer", rebuild: Sequence[str]
+    ) -> int:
+        """Seed the chaining cache from another optimizer's results.
+
+        Incremental re-layout support: chaining dominates layout
+        construction cost, and a profile drift usually perturbs only a
+        few procedures' flow graphs.  Every chaining already computed
+        by ``source`` is adopted except for the procedures named in
+        ``rebuild`` (the drifted ones), which will be re-chained
+        against *this* optimizer's profile on first use.  Returns the
+        number of procedures whose chains were reused.
+        """
+        if source.binary is not self.binary:
+            raise LayoutError(
+                "cannot reuse chainings from an optimizer of a different binary"
+            )
+        if source._chain_cache is None:
+            return 0
+        skip = set(rebuild)
+        if self._chain_cache is None:
+            self._chain_cache = {}
+        reused = 0
+        for name, result in source._chain_cache.items():
+            if name in skip or name in self._chain_cache:
+                continue
+            self._chain_cache[name] = result
+            reused += 1
+        return reused
 
     def _proc_units(self, chained: bool) -> List[CodeUnit]:
         units = []

@@ -1,0 +1,54 @@
+"""Online profiling and adaptive re-layout.
+
+Closes the paper's profile -> layout loop at runtime: burst-sampled
+rolling epoch profiles (:mod:`~repro.online.sampler`), drift detection
+(:mod:`~repro.online.drift`), incremental re-layout
+(:mod:`~repro.online.relayout`), the controller tying them together
+(:mod:`~repro.online.controller`), and the static-decay vs
+adaptive-recovery experiment (:mod:`~repro.online.experiment`).
+"""
+
+from repro.online.controller import ACTIONS, AdaptiveController, EpochDecision
+from repro.online.drift import (
+    DriftDetector,
+    DriftReport,
+    drift_score,
+    drifted_procedures,
+    edge_divergence,
+    hotset_overlap,
+    refresh_score,
+    weighted_divergence,
+)
+from repro.online.experiment import (
+    EpochRow,
+    OnlineConfig,
+    OnlineReport,
+    phased_experiment_config,
+    run_online_experiment,
+)
+from repro.online.relayout import AdaptiveRelayout, RelayoutResult
+from repro.online.sampler import EpochProfile, OnlineSampler, epoch_streams
+
+__all__ = [
+    "ACTIONS",
+    "AdaptiveController",
+    "AdaptiveRelayout",
+    "DriftDetector",
+    "DriftReport",
+    "EpochDecision",
+    "EpochProfile",
+    "EpochRow",
+    "OnlineConfig",
+    "OnlineReport",
+    "OnlineSampler",
+    "RelayoutResult",
+    "drift_score",
+    "drifted_procedures",
+    "edge_divergence",
+    "epoch_streams",
+    "hotset_overlap",
+    "phased_experiment_config",
+    "refresh_score",
+    "run_online_experiment",
+    "weighted_divergence",
+]

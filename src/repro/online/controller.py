@@ -1,0 +1,144 @@
+"""The adaptive controller: closes the profile -> layout loop.
+
+One :class:`AdaptiveController` owns the layout an application runs
+under.  At every epoch boundary it receives the epoch's sampled
+profile, consults the :class:`~repro.online.drift.DriftDetector`, and
+takes one of four actions:
+
+``swap``
+    The drift score crossed the hard threshold: a phase shift.  The
+    layout is retrained from the live epoch alone and the detector
+    rebases onto it.
+``refresh``
+    Residual drift: the profiles accumulated since the last rebase
+    diverge from the reference the current layout was trained on —
+    typically because that layout was trained on a transition epoch
+    straddling a shift.  Retrain from the accumulation (pure new-mix
+    samples) and rebase.
+``consolidate``
+    Stationary: grow the training window.  The layout is retrained
+    from reference + accumulation merged, riding the extra samples
+    toward the quality of an exact profile.  Chain reuse makes this
+    cheap: almost nothing drifted, so almost every chain is adopted.
+``hold``
+    The epoch produced too few samples to act on (sampler marked it
+    unreliable).  Keep the current layout and reference.
+
+Layouts always deploy with one epoch of lag — the rebuild happens at
+the boundary, so epoch ``e``'s traffic runs under the layout chosen
+at the end of epoch ``e-1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.ir import AddressMap, Binary, Layout
+from repro.online.drift import DriftDetector, DriftReport
+from repro.online.relayout import AdaptiveRelayout, RelayoutResult
+from repro.online.sampler import EpochProfile
+from repro.profiles.profile import Profile
+
+#: Actions a controller can take at an epoch boundary.
+ACTIONS = ("swap", "refresh", "consolidate", "hold")
+
+
+@dataclass
+class EpochDecision:
+    """What the controller did at one epoch boundary."""
+
+    epoch: int
+    action: str
+    report: Optional[DriftReport]
+    relayout: Optional[RelayoutResult]
+
+    @property
+    def swapped(self) -> bool:
+        """True when the layout was replaced in response to drift
+        (consolidation refines the same layout, hold keeps it)."""
+        return self.action in ("swap", "refresh")
+
+
+class AdaptiveController:
+    """Drives drift detection and re-layout over a stream of epochs."""
+
+    def __init__(
+        self,
+        binary: Binary,
+        initial_profile: Profile,
+        relayout: AdaptiveRelayout,
+        threshold: float = 0.40,
+        refresh_threshold: float = 0.16,
+        top_k: int = 64,
+    ) -> None:
+        self.binary = binary
+        self.relayout = relayout
+        self.detector = DriftDetector(
+            initial_profile,
+            threshold=threshold,
+            refresh_threshold=refresh_threshold,
+            top_k=top_k,
+        )
+        self._current = relayout.rebuild(initial_profile)
+        self.decisions: List[EpochDecision] = []
+
+    @property
+    def layout(self) -> Layout:
+        return self._current.layout
+
+    @property
+    def address_map(self) -> AddressMap:
+        """The placement live traffic currently runs under."""
+        return self._current.address_map
+
+    @property
+    def swaps(self) -> int:
+        """Drift-triggered layout replacements so far."""
+        return sum(1 for d in self.decisions if d.swapped)
+
+    def end_epoch(self, epoch_profile: EpochProfile) -> EpochDecision:
+        """Process one epoch's sampled profile; returns the decision.
+
+        The returned decision's layout (if any) serves the *next*
+        epoch — callers should measure the current epoch against
+        :attr:`address_map` *before* calling this.
+        """
+        if not epoch_profile.reliable:
+            decision = EpochDecision(
+                epoch=epoch_profile.epoch,
+                action="hold",
+                report=None,
+                relayout=None,
+            )
+            self.decisions.append(decision)
+            return decision
+
+        live = epoch_profile.profile
+        report = self.detector.observe(live)
+        if report.drifted:
+            action, training = "swap", live
+        elif report.refresh:
+            action, training = "refresh", self.detector.accumulated
+        else:
+            action = "consolidate"
+            training = Profile(self.binary)
+            training.merge(self.detector.reference)
+            if self.detector.accumulated is not None:
+                training.merge(self.detector.accumulated)
+
+        result = self.relayout.rebuild(
+            training,
+            previous=self._current.optimizer,
+            reference=self.detector.reference,
+        )
+        self.detector.rebase(training)
+        self._current = result
+        decision = EpochDecision(
+            epoch=epoch_profile.epoch,
+            action=action,
+            report=report,
+            relayout=result,
+        )
+        self.decisions.append(decision)
+        return decision

@@ -1,0 +1,136 @@
+"""Incremental re-layout: rebuild the code layout from a new profile,
+reusing what did not drift.
+
+Chaining dominates layout-construction cost (it walks every
+procedure's flow graph), but a profile drift usually perturbs only a
+handful of procedures.  :class:`AdaptiveRelayout` therefore asks
+:func:`~repro.online.drift.drifted_procedures` which procedures carry
+the weight shift, re-chains only those, and adopts the previous
+optimizer's chains for the rest; splitting and ordering always re-run
+globally (they are cheap and their decisions are global by nature).
+
+Finished epoch layouts are cached in the
+:class:`~repro.harness.store.ArtifactStore` keyed by the *profile
+fingerprint*, so replaying a run (or a different experiment arriving
+at the same sampled profile) hot-swaps the cached layout without
+rebuilding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.harness.runlog import CACHE_HIT, CACHE_MISS, CACHE_OFF, RunLog
+from repro.harness.store import ArtifactStore, load_layout, save_layout
+from repro.ir import AddressMap, Binary, Layout, assign_addresses
+from repro.layout import SpikeOptimizer
+from repro.online.drift import drifted_procedures
+from repro.profiles.profile import Profile
+
+
+@dataclass
+class RelayoutResult:
+    """One rebuilt layout plus provenance for the epoch report."""
+
+    layout: Layout
+    address_map: AddressMap
+    optimizer: SpikeOptimizer
+    #: Procedures re-chained against the new profile ("*" = all).
+    rebuilt_procs: Tuple[str, ...]
+    #: Procedures whose chains were adopted from the previous layout.
+    reused_chains: int
+    #: CACHE_HIT / CACHE_MISS / CACHE_OFF for the layout artifact.
+    cache: str
+
+
+class AdaptiveRelayout:
+    """Rebuilds layouts between epochs, incrementally when possible."""
+
+    def __init__(
+        self,
+        binary: Binary,
+        combo: str = "all",
+        store: Optional[ArtifactStore] = None,
+        runlog: Optional[RunLog] = None,
+        coverage: float = 0.9,
+    ) -> None:
+        self.binary = binary
+        self.combo = combo
+        self.store = store
+        self.runlog = runlog or RunLog()
+        #: Fraction of the weight shift the rebuilt set must cover.
+        self.coverage = coverage
+
+    def rebuild(
+        self,
+        profile: Profile,
+        previous: Optional[SpikeOptimizer] = None,
+        reference: Optional[Profile] = None,
+    ) -> RelayoutResult:
+        """Build the ``combo`` layout for ``profile``.
+
+        With ``previous`` (the optimizer behind the outgoing layout)
+        and ``reference`` (the profile that layout was trained on),
+        only the procedures responsible for the drift between
+        ``reference`` and ``profile`` are re-chained; the rest reuse
+        the previous chains.  Without them, everything is rebuilt.
+        """
+        fingerprint = profile.fingerprint()
+        name = f"online-layout-{self.combo}.json"
+        with self.runlog.stage("relayout", f"{self.combo}@{fingerprint[:8]}") as record:
+            cached = self._load(fingerprint, name)
+            if cached is not None:
+                record.cache = CACHE_HIT
+                # The optimizer is rebuilt lazily: a cached layout needs
+                # no chaining until a later incremental rebuild asks.
+                optimizer = SpikeOptimizer(self.binary, profile)
+                return RelayoutResult(
+                    layout=cached,
+                    address_map=assign_addresses(self.binary, cached),
+                    optimizer=optimizer,
+                    rebuilt_procs=(),
+                    reused_chains=0,
+                    cache=CACHE_HIT,
+                )
+            optimizer = SpikeOptimizer(self.binary, profile)
+            rebuilt: Tuple[str, ...] = ("*",)
+            reused = 0
+            if previous is not None and reference is not None:
+                drifted = drifted_procedures(
+                    reference, profile, coverage=self.coverage
+                )
+                reused = optimizer.reuse_chainings(previous, drifted)
+                rebuilt = tuple(drifted)
+            layout = optimizer.layout(self.combo)
+            record.cache = CACHE_OFF if self.store is None else CACHE_MISS
+            record.bytes = self._save(fingerprint, name, layout)
+            return RelayoutResult(
+                layout=layout,
+                address_map=assign_addresses(self.binary, layout),
+                optimizer=optimizer,
+                rebuilt_procs=rebuilt,
+                reused_chains=reused,
+                cache=record.cache,
+            )
+
+    def _load(self, fingerprint: str, name: str) -> Optional[Layout]:
+        if self.store is None:
+            return None
+        path = self.store.path(fingerprint, name)
+        if not path.is_file():
+            return None
+        try:
+            return load_layout(path, self.binary)
+        except Exception:  # corrupt cache entries degrade to a rebuild
+            return None
+
+    def _save(self, fingerprint: str, name: str, layout: Layout) -> int:
+        if self.store is None:
+            return 0
+        try:
+            path = self.store.prepare(fingerprint, name)
+            save_layout(layout, path)
+            return path.stat().st_size
+        except OSError:  # read-only cache dir etc.
+            return 0

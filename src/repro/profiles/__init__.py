@@ -1,7 +1,7 @@
 """Profile collection: Pixie-style exact counting and DCPI-style sampling."""
 
-from repro.profiles.dcpi import DcpiProfiler
+from repro.profiles.dcpi import DcpiProfiler, LbrSampler
 from repro.profiles.pixie import PixieProfiler
 from repro.profiles.profile import Profile
 
-__all__ = ["DcpiProfiler", "PixieProfiler", "Profile"]
+__all__ = ["DcpiProfiler", "LbrSampler", "PixieProfiler", "Profile"]

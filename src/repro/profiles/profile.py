@@ -46,6 +46,24 @@ class Profile:
     def count(self, bid: int) -> int:
         return int(self.block_counts[bid])
 
+    def fingerprint(self) -> str:
+        """Stable content hash of the profile data.
+
+        Two profiles of the same binary with identical block and edge
+        counts hash identically, so cached artifacts derived from a
+        profile (layouts, address maps) can be keyed by it.
+        """
+        import hashlib
+
+        digest = hashlib.sha256()
+        digest.update(self.binary.name.encode())
+        digest.update(np.ascontiguousarray(self.block_counts).tobytes())
+        for edge in sorted(self.edge_counts):
+            count = self.edge_counts[edge]
+            if count:
+                digest.update(f"{edge[0]},{edge[1]}:{count};".encode())
+        return digest.hexdigest()[:20]
+
     def merge(self, other: "Profile") -> "Profile":
         """Accumulate another profile of the same binary into this one."""
         if other.binary is not self.binary:

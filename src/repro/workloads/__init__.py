@@ -1,4 +1,4 @@
-"""Workload drivers (TPC-B)."""
+"""Workload drivers (TPC-B, DSS, and phase-shifting mixes)."""
 
 from repro.workloads.dss import (
     DssClient,
@@ -6,6 +6,13 @@ from repro.workloads.dss import (
     DssQuery,
     DssWorkload,
     QUERY_MIX,
+)
+from repro.workloads.phased import (
+    PHASE_MIXES,
+    Phase,
+    PhasedClient,
+    PhasedConfig,
+    PhasedWorkload,
 )
 from repro.workloads.tpcb import (
     KEY_COLUMNS,
@@ -27,6 +34,11 @@ __all__ = [
     "DssQuery",
     "DssWorkload",
     "QUERY_MIX",
+    "PHASE_MIXES",
+    "Phase",
+    "PhasedClient",
+    "PhasedConfig",
+    "PhasedWorkload",
     "TpcbClient",
     "TpcbWorkload",
     "KEY_COLUMNS",

@@ -84,7 +84,10 @@ class TestStreamsApi:
         assert streams.instructions > 0
 
     def test_streams_matches_deprecated_wrappers(self, exp):
+        from repro.harness.experiment import reset_deprecation_warnings
+
         new = exp.streams("base", scope="app")
+        reset_deprecation_warnings()
         with pytest.warns(DeprecationWarning):
             old = exp.app_streams("base")
         assert len(old) == len(new)
@@ -93,12 +96,40 @@ class TestStreamsApi:
             assert np.array_equal(old_c, new_c)
 
     def test_all_deprecated_wrappers_warn(self, exp):
+        from repro.harness.experiment import reset_deprecation_warnings
+
+        reset_deprecation_warnings()
         with pytest.warns(DeprecationWarning):
             exp.kernel_streams()
         with pytest.warns(DeprecationWarning):
             exp.combined_streams("base")
         with pytest.warns(DeprecationWarning):
             exp.per_process_streams("base")
+
+    def test_deprecated_wrappers_warn_once_per_process(self, exp):
+        import warnings
+
+        from repro.harness.experiment import reset_deprecation_warnings
+
+        reset_deprecation_warnings()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            exp.app_streams("base")
+            exp.app_streams("base")
+            exp.app_streams("base")
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        # A different wrapper still gets its own (single) warning.
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            exp.kernel_streams()
+            exp.kernel_streams()
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
 
     def test_combined_scope_includes_kernel(self, exp):
         from repro.osmodel import KERNEL_BASE

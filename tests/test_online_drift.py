@@ -1,0 +1,264 @@
+"""Property and behavior tests for the online drift metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProfileError
+from repro.ir import Binary, Procedure, Terminator
+from repro.online import (
+    DriftDetector,
+    drift_score,
+    drifted_procedures,
+    edge_divergence,
+    hotset_overlap,
+    refresh_score,
+    weighted_divergence,
+)
+from repro.profiles import Profile
+
+#: 3 procedures x 4 blocks, mixed sizes: 12 blocks total.
+PROC_SIZES = [[10, 4, 6, 2], [8, 8, 3, 5], [12, 2, 2, 9]]
+
+
+def make_binary(proc_sizes=None):
+    binary = Binary()
+    for p, sizes in enumerate(proc_sizes or PROC_SIZES):
+        proc = Procedure(f"p{p}")
+        for b, size in enumerate(sizes):
+            proc.add_block(f"b{b}", size, Terminator.RETURN)
+        binary.add_procedure(proc)
+    binary.seal()
+    return binary
+
+
+BINARY = make_binary()
+N_BLOCKS = BINARY.num_blocks
+#: Equal-sized blocks: weight shifts equal count shifts exactly.
+FLAT_BINARY = make_binary([[10] * 4, [10] * 4, [10] * 4])
+
+
+def profile_from(counts, binary=BINARY, edges=None):
+    profile = Profile(binary)
+    profile.block_counts = np.asarray(counts, dtype=np.int64)
+    if edges:
+        for edge, count in edges.items():
+            profile.edge_counts[edge] = count
+    return profile
+
+
+counts_strategy = st.lists(
+    st.integers(min_value=0, max_value=10_000),
+    min_size=N_BLOCKS,
+    max_size=N_BLOCKS,
+)
+
+
+class TestDivergenceProperties:
+    @given(counts=counts_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_identical_profiles_diverge_zero(self, counts):
+        p = profile_from(counts)
+        q = profile_from(counts)
+        assert weighted_divergence(p, q) == 0.0
+        assert weighted_divergence(p, q, granularity="proc") == 0.0
+        assert refresh_score(p, q) == 0.0
+
+    @given(counts=counts_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_scaling_is_invisible(self, counts):
+        # The metric compares distributions: doubling every count is
+        # the same workload running longer, not drift.
+        p = profile_from(counts)
+        q = profile_from([c * 3 for c in counts])
+        assert weighted_divergence(p, q) == pytest.approx(0.0, abs=1e-12)
+
+    @given(a=counts_strategy, b=counts_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_symmetric(self, a, b):
+        p, q = profile_from(a), profile_from(b)
+        for granularity in ("block", "proc"):
+            assert weighted_divergence(p, q, granularity) == pytest.approx(
+                weighted_divergence(q, p, granularity)
+            )
+        assert hotset_overlap(p, q) == pytest.approx(hotset_overlap(q, p))
+        assert drift_score(p, q) == pytest.approx(drift_score(q, p))
+
+    @given(a=counts_strategy, b=counts_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_bounded(self, a, b):
+        p, q = profile_from(a), profile_from(b)
+        assert 0.0 <= weighted_divergence(p, q) <= 1.0
+        assert 0.0 <= hotset_overlap(p, q) <= 1.0
+        assert 0.0 <= drift_score(p, q) <= 1.0
+
+    @given(
+        counts=st.lists(
+            st.integers(min_value=1, max_value=10_000),
+            min_size=12,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_under_hotset_replacement(self, counts):
+        # Replacing ever more of the hot set with cold code can only
+        # move the divergence up: d(p, replace(p, k)) is non-decreasing
+        # in k.  Equal block sizes make the weight shift exact.
+        p = profile_from(counts, binary=FLAT_BINARY)
+        order = np.argsort(-np.asarray(counts, dtype=np.int64), kind="stable")
+        previous = -1.0
+        for k in range(len(counts)):
+            replaced = list(counts)
+            moved = 0
+            for bid in order[: k + 1]:
+                moved += replaced[bid]
+                replaced[bid] = 0
+            # The displaced work lands on the coldest block.
+            replaced[order[-1]] += moved
+            q = profile_from(replaced, binary=FLAT_BINARY)
+            current = weighted_divergence(p, q)
+            assert current >= previous - 1e-12
+            previous = current
+
+    def test_divergence_one_for_disjoint_profiles(self):
+        p = profile_from([100] + [0] * (N_BLOCKS - 1))
+        q = profile_from([0] * (N_BLOCKS - 1) + [100])
+        assert weighted_divergence(p, q) == pytest.approx(1.0)
+
+    def test_different_binaries_rejected(self):
+        p = profile_from([1] * N_BLOCKS, binary=make_binary())
+        q = profile_from([1] * N_BLOCKS, binary=make_binary())
+        with pytest.raises(ProfileError):
+            weighted_divergence(p, q)
+        with pytest.raises(ProfileError):
+            hotset_overlap(p, q)
+
+    def test_unknown_granularity_rejected(self):
+        p = profile_from([1] * N_BLOCKS)
+        with pytest.raises(ProfileError, match="granularity"):
+            weighted_divergence(p, p, granularity="bogus")
+
+    def test_proc_granularity_hides_intra_procedure_shuffles(self):
+        # Moving work between equal-sized blocks of one procedure is
+        # invisible at procedure granularity but visible at block level.
+        p = profile_from([9, 0, 0, 0] + [0] * 8, binary=FLAT_BINARY)
+        q = profile_from([0, 9, 0, 0] + [0] * 8, binary=FLAT_BINARY)
+        assert weighted_divergence(p, q, granularity="proc") == 0.0
+        assert weighted_divergence(p, q, granularity="block") > 0.0
+
+
+class TestHotsetOverlap:
+    def test_identical_hotsets_overlap_fully(self):
+        p = profile_from([5, 4, 3] + [0] * (N_BLOCKS - 3))
+        assert hotset_overlap(p, p) == 1.0
+
+    def test_empty_profiles_overlap_fully(self):
+        p = profile_from([0] * N_BLOCKS)
+        assert hotset_overlap(p, p) == 1.0
+
+    def test_disjoint_hotsets_overlap_zero(self):
+        p = profile_from([5, 4] + [0] * (N_BLOCKS - 2))
+        q = profile_from([0, 0, 5, 4] + [0] * (N_BLOCKS - 4))
+        assert hotset_overlap(p, q, k=2) == 0.0
+
+    def test_k_limits_the_set(self):
+        p = profile_from(list(range(N_BLOCKS, 0, -1)))
+        q = profile_from(list(range(N_BLOCKS, 0, -1)))
+        assert hotset_overlap(p, q, k=3) == 1.0
+
+
+class TestEdgeDivergence:
+    def test_identical_edges_diverge_zero(self):
+        edges = {(0, 1): 10, (1, 2): 5}
+        p = profile_from([10, 10, 5] + [0] * (N_BLOCKS - 3), edges=edges)
+        q = profile_from([10, 10, 5] + [0] * (N_BLOCKS - 3), edges=dict(edges))
+        assert edge_divergence(p, q) == 0.0
+
+    def test_scale_invariant(self):
+        p = profile_from([1] * N_BLOCKS, edges={(0, 1): 10, (1, 2): 5})
+        q = profile_from([1] * N_BLOCKS, edges={(0, 1): 20, (1, 2): 10})
+        assert edge_divergence(p, q) == pytest.approx(0.0, abs=1e-12)
+
+    def test_disjoint_edges_diverge_one(self):
+        p = profile_from([1] * N_BLOCKS, edges={(0, 1): 10})
+        q = profile_from([1] * N_BLOCKS, edges={(2, 3): 10})
+        assert edge_divergence(p, q) == pytest.approx(1.0)
+
+    def test_falls_back_to_block_divergence_without_edges(self):
+        p = profile_from([10, 0, 0] + [0] * (N_BLOCKS - 3))
+        q = profile_from([0, 0, 10] + [0] * (N_BLOCKS - 3))
+        assert edge_divergence(p, q) == weighted_divergence(p, q)
+
+
+class TestDriftedProcedures:
+    def test_shifted_procedures_ranked_first(self):
+        # All work moves from p0 to p2: both carry the whole shift.
+        p = profile_from([50, 50, 0, 0] + [0] * 8, binary=FLAT_BINARY)
+        q = profile_from([0] * 8 + [50, 50, 0, 0], binary=FLAT_BINARY)
+        drifted = drifted_procedures(p, q)
+        assert set(drifted) == {"p0", "p2"}
+
+    def test_identical_profiles_no_drifted_procs(self):
+        p = profile_from([1] * N_BLOCKS)
+        assert drifted_procedures(p, p) == []
+
+    def test_coverage_bounds_the_set(self):
+        # p0 carries 90% of the shift; low coverage stops there.
+        p = profile_from([90, 0, 0, 0, 10, 0, 0, 0] + [0] * 4,
+                         binary=FLAT_BINARY)
+        q = profile_from([0] * 8 + [90, 0, 10, 0], binary=FLAT_BINARY)
+        tight = drifted_procedures(p, q, coverage=0.5)
+        full = drifted_procedures(p, q, coverage=1.0)
+        assert len(tight) < len(full)
+        with pytest.raises(ProfileError, match="coverage"):
+            drifted_procedures(p, q, coverage=0.0)
+
+
+class TestDriftDetector:
+    def test_fires_on_phase_shift(self):
+        reference = profile_from([100, 50, 20, 10] + [0] * 8)
+        detector = DriftDetector(reference, threshold=0.4)
+        shifted = profile_from([0] * 8 + [100, 50, 20, 10])
+        report = detector.observe(shifted)
+        assert report.drifted and report.fired
+        assert report.score > 0.4
+
+    def test_quiet_on_identical_profile(self):
+        reference = profile_from([100, 50, 20, 10] + [0] * 8)
+        detector = DriftDetector(reference)
+        report = detector.observe(profile_from([100, 50, 20, 10] + [0] * 8))
+        assert not report.fired
+        assert report.score == pytest.approx(0.0, abs=1e-12)
+
+    def test_refresh_fires_on_accumulated_residual_drift(self):
+        # A mildly-off epoch stays under the hard threshold but the
+        # accumulated evidence crosses the refresh bar.
+        reference = profile_from([100, 100, 100, 100] + [0] * 8,
+                                 binary=FLAT_BINARY)
+        detector = DriftDetector(
+            reference, threshold=0.9, refresh_threshold=0.16
+        )
+        residual = profile_from([100, 100, 100, 100] + [100, 0, 0, 0] + [0] * 4,
+                                binary=FLAT_BINARY)
+        report = detector.observe(residual)
+        assert not report.drifted
+        assert report.refresh and report.fired
+        assert report.refresh_score > 0.16
+
+    def test_rebase_resets_accumulation(self):
+        reference = profile_from([100] * 4 + [0] * 8, binary=FLAT_BINARY)
+        detector = DriftDetector(reference, threshold=0.9,
+                                 refresh_threshold=0.16)
+        detector.observe(profile_from([100] * 4 + [30, 0, 0, 0] + [0] * 4,
+                                      binary=FLAT_BINARY))
+        assert detector.accumulated is not None
+        detector.rebase(reference)
+        assert detector.accumulated is None
+
+    def test_threshold_validation(self):
+        reference = profile_from([1] * N_BLOCKS)
+        with pytest.raises(ProfileError):
+            DriftDetector(reference, threshold=0.0)
+        with pytest.raises(ProfileError):
+            DriftDetector(reference, threshold=0.3, refresh_threshold=0.5)

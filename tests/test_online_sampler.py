@@ -1,0 +1,117 @@
+"""Tests for the online epoch sampler and trace epoch slicing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProfileError
+from repro.harness import quick_experiment
+from repro.ir import Binary, Procedure, Terminator
+from repro.online import EpochProfile, OnlineSampler, epoch_streams
+
+
+def loop_binary():
+    binary = Binary()
+    proc = Procedure("loop")
+    proc.add_block("head", 4, Terminator.COND_BRANCH, succs=("head", "exit"))
+    proc.add_block("exit", 2, Terminator.RETURN)
+    binary.add_procedure(proc)
+    binary.seal()
+    return binary
+
+
+@pytest.fixture(scope="module")
+def exp():
+    experiment = quick_experiment()
+    _ = experiment.trace
+    return experiment
+
+
+class TestOnlineSampler:
+    def test_merges_cpu_samples_into_epoch_profile(self):
+        binary = loop_binary()
+        sampler = OnlineSampler(binary, cpus=2, period=4, min_samples=1)
+        trace = np.zeros(400, dtype=np.int64)  # spin on "head"
+        sampler.observe(0, trace)
+        sampler.observe(1, trace)
+        epoch = sampler.end_epoch()
+        assert isinstance(epoch, EpochProfile)
+        assert epoch.epoch == 0
+        assert epoch.samples > 0
+        assert epoch.reliable
+        assert epoch.profile.block_counts[0] > 0
+        assert epoch.profile.block_counts[1] == 0
+
+    def test_epoch_index_increments(self):
+        sampler = OnlineSampler(loop_binary(), cpus=1, period=4)
+        assert sampler.epoch == 0
+        first = sampler.end_epoch()
+        second = sampler.end_epoch()
+        assert (first.epoch, second.epoch) == (0, 1)
+        assert sampler.epoch == 2
+
+    def test_end_epoch_resets_hits_but_not_phase(self):
+        binary = loop_binary()
+        sampler = OnlineSampler(binary, cpus=1, period=4, min_samples=1)
+        sampler.observe(0, np.zeros(401, dtype=np.int64))
+        first = sampler.end_epoch()
+        assert first.samples > 0
+        # No new observations: the next epoch is empty...
+        second = sampler.end_epoch()
+        assert second.samples == 0
+        assert not second.reliable
+        assert second.profile.total_blocks_executed == 0
+        # ...and feeding across the boundary is equivalent to one
+        # continuous stream (phase carried, 401 % 4 != 0).
+        sampler.observe(0, np.zeros(399, dtype=np.int64))
+        third = sampler.end_epoch()
+        whole = OnlineSampler(binary, cpus=1, period=4, min_samples=1)
+        whole.observe(0, np.zeros(800, dtype=np.int64))
+        reference = whole.end_epoch()
+        assert first.samples + third.samples == reference.samples
+
+    def test_min_samples_gates_reliability(self):
+        sampler = OnlineSampler(loop_binary(), cpus=1, period=4, min_samples=50)
+        sampler.observe(0, np.zeros(40, dtype=np.int64))  # ~10 samples
+        assert not sampler.end_epoch().reliable
+
+    def test_cpu_out_of_range_rejected(self):
+        sampler = OnlineSampler(loop_binary(), cpus=2)
+        with pytest.raises(ProfileError, match="cpu"):
+            sampler.observe(2, np.zeros(8, dtype=np.int64))
+
+    def test_constructor_validation(self):
+        with pytest.raises(ProfileError):
+            OnlineSampler(loop_binary(), cpus=0)
+        with pytest.raises(ProfileError):
+            OnlineSampler(loop_binary(), cpus=1, min_samples=-1)
+
+
+class TestEpochStreams:
+    def test_slices_concatenate_to_full_app_stream(self, exp):
+        epochs = epoch_streams(exp.trace, 3)
+        assert len(epochs) == 3
+        for cpu_index, cpu in enumerate(exp.trace.cpus):
+            mask = cpu.blocks < exp.trace.kernel_offset
+            rebuilt = np.concatenate(
+                [epochs[e][cpu_index][0] for e in range(3)]
+            )
+            assert np.array_equal(rebuilt, cpu.blocks[mask])
+            rebuilt_pids = np.concatenate(
+                [epochs[e][cpu_index][1] for e in range(3)]
+            )
+            assert np.array_equal(rebuilt_pids, cpu.pids[mask])
+
+    def test_kernel_blocks_stripped(self, exp):
+        for epoch in epoch_streams(exp.trace, 2):
+            for blocks, _pids in epoch:
+                assert (blocks < exp.trace.kernel_offset).all()
+
+    def test_slices_roughly_equal(self, exp):
+        epochs = epoch_streams(exp.trace, 4)
+        for cpu_index in range(len(exp.trace.cpus)):
+            lengths = [len(epochs[e][cpu_index][0]) for e in range(4)]
+            assert max(lengths) - min(lengths) <= 1
+
+    def test_epoch_count_validated(self, exp):
+        with pytest.raises(ProfileError, match="epoch"):
+            epoch_streams(exp.trace, 0)

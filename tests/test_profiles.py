@@ -5,7 +5,7 @@ import pytest
 
 from repro.errors import ProfileError
 from repro.ir import Binary, Procedure, Terminator
-from repro.profiles import DcpiProfiler, PixieProfiler, Profile
+from repro.profiles import DcpiProfiler, LbrSampler, PixieProfiler, Profile
 
 
 def two_block_binary():
@@ -135,3 +135,92 @@ class TestDcpi:
         for _ in range(50):
             profiler.add_stream([0, 0, 1])  # 22 instrs per stream
         assert profiler.samples_taken == (22 * 50) // 1000
+
+    def test_empty_stream_is_a_no_op(self):
+        binary = two_block_binary()
+        profiler = DcpiProfiler(binary, period=4)
+        profiler.add_stream([])
+        profiler.add_stream(np.zeros(0, dtype=np.int64))
+        assert profiler.samples_taken == 0
+        assert profiler.phase == 0
+        assert profiler.profile().total_blocks_executed == 0
+
+    def test_stream_shorter_than_period(self):
+        binary = two_block_binary()
+        profiler = DcpiProfiler(binary, period=1000)
+        profiler.add_stream([0, 1])  # 12 instructions, no sample yet
+        assert profiler.samples_taken == 0
+        assert profiler.phase == 12
+        assert profiler.profile().total_blocks_executed == 0
+
+    def test_chunking_invariance(self):
+        # Splitting one stream into arbitrary chunks must hit the same
+        # instructions as feeding it whole: the phase carries exactly.
+        binary = two_block_binary()
+        stream = ([0] * 3 + [1]) * 40
+        whole = DcpiProfiler(binary, period=7)
+        whole.add_stream(stream)
+        chunked = DcpiProfiler(binary, period=7)
+        for start in range(0, len(stream), 11):
+            chunked.add_stream(stream[start:start + 11])
+        assert chunked.samples_taken == whole.samples_taken
+        assert np.array_equal(chunked._sample_hits, whole._sample_hits)
+
+    def test_take_epoch_resets_hits_but_carries_phase(self):
+        binary = two_block_binary()
+        profiler = DcpiProfiler(binary, period=7)
+        profiler.add_stream([0, 0, 1])  # 22 instrs: 3 samples, phase 1
+        first = profiler.take_epoch()
+        assert first.total_blocks_executed > 0
+        assert profiler.samples_taken == 0
+        assert profiler.phase == 22 % 7
+        # Epoch boundaries are invisible to the sample positions: the
+        # two epochs together take exactly the samples one continuous
+        # run would, and the merged estimate matches up to the one
+        # rounding step each epoch performs independently.
+        profiler.add_stream([0, 0, 1])
+        second = profiler.take_epoch()
+        reference = DcpiProfiler(binary, period=7)
+        reference.add_stream([0, 0, 1] * 2)
+        assert first.total_blocks_executed + second.total_blocks_executed > 0
+        merged = first.merge(second)
+        assert np.abs(
+            merged.block_counts - reference.profile().block_counts
+        ).max() <= 1
+
+
+class TestLbrSampler:
+    def test_bursts_recover_edge_structure(self):
+        binary = two_block_binary()
+        sampler = LbrSampler(binary, period=4, burst_width=4)
+        sampler.add_stream([0, 0, 0, 1] * 50)
+        profile = sampler.profile()
+        assert profile.edge_counts  # sampling alone would have none
+        assert set(profile.edge_counts) <= {(0, 0), (0, 1), (1, 0)}
+        # The self-loop dominates, as in the trace.
+        assert profile.edge_counts[(0, 0)] > profile.edge_counts[(0, 1)]
+
+    def test_edge_counts_scaled_by_sampling_ratio(self):
+        binary = two_block_binary()
+        sampler = LbrSampler(binary, period=64, burst_width=16)
+        sampler.add_stream([0, 0, 1] * 100)
+        scale = 64 // 16
+        for count in sampler.profile().edge_counts.values():
+            assert count % scale == 0
+
+    def test_bursts_do_not_cross_stream_boundaries(self):
+        # Streams model context switches; the LBR flushes between them.
+        binary = two_block_binary()
+        sampler = LbrSampler(binary, period=2, burst_width=8)
+        sampler.add_stream([0])
+        sampler.add_stream([1, 1, 1])
+        assert (0, 1) not in sampler.profile().edge_counts
+
+    def test_take_epoch_resets_edges(self):
+        binary = two_block_binary()
+        sampler = LbrSampler(binary, period=4, burst_width=4)
+        sampler.add_stream([0, 0, 0, 1] * 20)
+        assert sampler.take_epoch().edge_counts
+        empty = sampler.take_epoch()
+        assert empty.edge_counts == {}
+        assert empty.total_blocks_executed == 0

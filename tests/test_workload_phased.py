@@ -1,0 +1,130 @@
+"""Tests for the phase-shifting (TPC-B -> DSS) workload."""
+
+import pytest
+
+from repro.db import Engine
+from repro.errors import WorkloadError
+from repro.workloads import (
+    DssConfig,
+    DssQuery,
+    Phase,
+    PhasedConfig,
+    PhasedWorkload,
+    TpcbConfig,
+)
+from repro.workloads.tpcb import TpcbTransaction
+
+
+def small_config(shift_after=3):
+    tpcb = TpcbConfig(branches=3, accounts_per_branch=80)
+    return PhasedConfig(
+        tpcb=tpcb,
+        dss=DssConfig(tpcb=tpcb),
+        phases=(Phase("tpcb", shift_after), Phase("dss", 0)),
+    )
+
+
+def loaded_engine(config):
+    engine = Engine(pool_capacity=2048, btree_order=32)
+    PhasedWorkload(config).load(engine)
+    return engine
+
+
+class TestPhaseValidation:
+    def test_unknown_mix_rejected(self):
+        with pytest.raises(WorkloadError, match="tpcb, dss"):
+            Phase("olap", 5)
+
+    def test_negative_transactions_rejected(self):
+        with pytest.raises(WorkloadError, match="negative"):
+            Phase("tpcb", -1)
+
+    def test_empty_schedule_rejected(self):
+        with pytest.raises(WorkloadError, match="at least one phase"):
+            PhasedConfig(phases=())
+
+    def test_unbounded_non_final_phase_rejected(self):
+        with pytest.raises(WorkloadError, match="final phase"):
+            PhasedConfig(phases=(Phase("tpcb", 0), Phase("dss", 0)))
+
+    def test_default_schedule_is_tpcb_then_dss(self):
+        config = PhasedConfig()
+        assert [p.mix for p in config.phases] == ["tpcb", "dss"]
+
+
+class TestPhasedClient:
+    def test_walks_the_schedule(self):
+        config = small_config(shift_after=3)
+        engine = loaded_engine(config)
+        client = PhasedWorkload(config).client(pid=0)
+        mixes = []
+        for _ in range(5):
+            mixes.append(client.phase.mix)
+            txn = client.next_transaction(engine)
+            while not txn.done:
+                txn.run_step()
+        assert mixes == ["tpcb"] * 3 + ["dss"] * 2
+
+    def test_delegates_to_mix_clients(self):
+        config = small_config(shift_after=1)
+        engine = loaded_engine(config)
+        client = PhasedWorkload(config).client(pid=0)
+        first = client.next_transaction(engine)
+        assert isinstance(first, TpcbTransaction)
+        while not first.done:
+            first.run_step()
+        second = client.next_transaction(engine)
+        assert isinstance(second, DssQuery)
+
+    def test_final_phase_unbounded(self):
+        config = small_config(shift_after=1)
+        engine = loaded_engine(config)
+        client = PhasedWorkload(config).client(pid=0)
+        for _ in range(6):
+            txn = client.next_transaction(engine)
+            while not txn.done:
+                txn.run_step()
+        assert client.phase.mix == "dss"
+
+    def test_three_phase_schedule(self):
+        tpcb = TpcbConfig(branches=3, accounts_per_branch=80)
+        config = PhasedConfig(
+            tpcb=tpcb,
+            dss=DssConfig(tpcb=tpcb),
+            phases=(Phase("tpcb", 2), Phase("dss", 2), Phase("tpcb", 0)),
+        )
+        engine = loaded_engine(config)
+        client = PhasedWorkload(config).client(pid=0)
+        mixes = []
+        for _ in range(6):
+            mixes.append(client.phase.mix)
+            txn = client.next_transaction(engine)
+            while not txn.done:
+                txn.run_step()
+        assert mixes == ["tpcb", "tpcb", "dss", "dss", "tpcb", "tpcb"]
+
+    def test_clients_have_independent_schedules(self):
+        config = small_config(shift_after=2)
+        engine = loaded_engine(config)
+        workload = PhasedWorkload(config)
+        ahead, behind = workload.client(pid=0), workload.client(pid=1)
+        for _ in range(2):
+            txn = ahead.next_transaction(engine)
+            while not txn.done:
+                txn.run_step()
+        assert ahead.phase.mix == "dss"
+        assert behind.phase.mix == "tpcb"
+
+
+class TestPhasedWorkload:
+    def test_default_config(self):
+        workload = PhasedWorkload()
+        assert workload.config.phases
+
+    def test_load_populates_tpcb_tables(self):
+        config = small_config()
+        engine = loaded_engine(config)
+        txn = engine.begin()
+        rows = engine.scan_rows(txn, "branch", lambda r: True)
+        engine.commit(txn)
+        assert len(rows) == config.tpcb.branches
