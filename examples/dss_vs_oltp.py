@@ -33,7 +33,7 @@ def small_config(workload_factory=None, transactions=40):
 
 
 def mpki(exp, combo, cache):
-    streams = exp.app_streams(combo)
+    streams = exp.streams(combo, scope="app")
     misses = simulate_lru(streams, cache).misses
     instructions = sum(int(c.sum()) for _, c in streams)
     return 1000.0 * misses / instructions

@@ -46,7 +46,7 @@ def main() -> None:
     base_misses = None
     breakdowns = {}
     for combo in PAPER_COMBOS:
-        streams = exp.app_streams(combo)
+        streams = exp.streams(combo, scope="app")
         misses = simulate_lru(streams, cache).misses
         if base_misses is None:
             base_misses = misses
@@ -54,7 +54,7 @@ def main() -> None:
             [sequence_lengths(s, c) for s, c in streams]
         )
         breakdowns[combo] = estimate_cycles(
-            exp.combined_streams(combo), ALPHA_21264, data
+            exp.streams(combo, scope="combined"), ALPHA_21264, data
         )
         rel = 100 * breakdowns[combo].total_cycles / breakdowns["base"].total_cycles
         print(f"{combo:>14} {misses:>10,} {100 * misses / base_misses:>6.1f}% "

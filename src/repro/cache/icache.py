@@ -17,6 +17,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.errors import SimulationError
 from repro.cache.stats import APP, KERNEL, InterferenceMatrix, LocalityStats
 from repro.ir import INSTRUCTION_BYTES
@@ -160,15 +161,49 @@ class ICacheSim:
     # -- feeding ------------------------------------------------------------
 
     def access_stream(self, starts: np.ndarray, counts: np.ndarray) -> None:
-        """Run one stream (already in program order) through the cache."""
+        """Run one stream (already in program order) through the cache.
+
+        Totals feed the ``icache.accesses``/``icache.misses`` counters;
+        when a series window is configured (``repro.obs``), the stream
+        is chunked into windows of that many line accesses and each
+        window's miss rate lands on the ``icache.window_miss_rate``
+        series — a time-resolved view of locality over the run.
+        """
         line_ids, word_lo, word_hi, _ = expand_line_runs(
             starts, counts, self.geometry.line_bytes
         )
+        accesses0 = self.result.accesses
+        misses0 = self.result.misses
+        window = obs.series_window()
         if not self.detail:
             keep = collapse_consecutive(line_ids)
-            self._run_plain(line_ids[keep])
+            kept = line_ids[keep]
+            if window and len(kept) > window:
+                for lo in range(0, len(kept), window):
+                    before = self.result.misses
+                    chunk = kept[lo : lo + window]
+                    self._run_plain(chunk)
+                    obs.series("icache.window_miss_rate").record(
+                        (self.result.misses - before) / len(chunk)
+                    )
+            else:
+                self._run_plain(kept)
         else:
-            self._run_detailed(line_ids, word_lo, word_hi)
+            if window and len(line_ids) > window:
+                for lo in range(0, len(line_ids), window):
+                    before = self.result.misses
+                    hi = lo + window
+                    self._run_detailed(
+                        line_ids[lo:hi], word_lo[lo:hi], word_hi[lo:hi]
+                    )
+                    obs.series("icache.window_miss_rate").record(
+                        (self.result.misses - before)
+                        / len(line_ids[lo:hi])
+                    )
+            else:
+                self._run_detailed(line_ids, word_lo, word_hi)
+        obs.counter("icache.accesses").inc(self.result.accesses - accesses0)
+        obs.counter("icache.misses").inc(self.result.misses - misses0)
         self._touched.update(np.unique(line_ids).tolist())
         self.result.unique_lines = len(self._touched)
 

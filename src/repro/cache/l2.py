@@ -7,6 +7,7 @@ from typing import List, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.cache.icache import CacheGeometry, collapse_consecutive, expand_line_runs
 from repro.execution.mp import DATA_BASE
 
@@ -129,6 +130,11 @@ def simulate_l2(
     line_ids = addresses // geometry.line_bytes
     misses_instr = 0
     misses_data = 0
+    # With an obs series window configured, record each window's
+    # combined miss rate on the ``l2.window_miss_rate`` series.
+    window = obs.series_window()
+    window_start = 0
+    window_misses = 0
     for i, line in enumerate(line_ids.tolist()):
         set_idx = line % nsets
         row = tags[set_idx]
@@ -146,8 +152,19 @@ def simulate_l2(
                 misses_data += 1
             else:
                 misses_instr += 1
+            if window:
+                window_misses += 1
             row[1:assoc] = row[: assoc - 1]
             row[0] = line
+        if window and i + 1 - window_start >= window:
+            obs.series("l2.window_miss_rate").record(
+                window_misses / (i + 1 - window_start)
+            )
+            window_start = i + 1
+            window_misses = 0
+    obs.counter("l2.accesses").inc(len(addresses))
+    obs.counter("l2.misses_instr").inc(misses_instr)
+    obs.counter("l2.misses_data").inc(misses_data)
     return L2Result(
         geometry=geometry,
         accesses=len(addresses),

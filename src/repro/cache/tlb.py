@@ -7,6 +7,7 @@ from typing import List, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.errors import SimulationError
 
 #: Alpha page size: 8 KB.
@@ -60,16 +61,33 @@ def simulate_itlb(
         pages = pages[keep]
         touched.update(np.unique(pages).tolist())
         # LRU over a small entry count: ordered list, most recent first.
+        # With an obs series window configured, the page stream is cut
+        # into windows and each window's miss rate is recorded.
+        window = obs.series_window()
+        page_list = pages.tolist()
+        chunks = (
+            [page_list[i : i + window] for i in range(0, len(page_list), window)]
+            if window and len(page_list) > window
+            else [page_list]
+        )
         lru: List[int] = []
-        for page in pages.tolist():
-            total_accesses += 1
-            try:
-                lru.remove(page)
-            except ValueError:
-                total_misses += 1
-                if len(lru) >= entries:
-                    lru.pop()
-            lru.insert(0, page)
+        for chunk in chunks:
+            before = total_misses
+            for page in chunk:
+                total_accesses += 1
+                try:
+                    lru.remove(page)
+                except ValueError:
+                    total_misses += 1
+                    if len(lru) >= entries:
+                        lru.pop()
+                lru.insert(0, page)
+            if len(chunks) > 1:
+                obs.series("itlb.window_miss_rate").record(
+                    (total_misses - before) / len(chunk)
+                )
+    obs.counter("itlb.accesses").inc(total_accesses)
+    obs.counter("itlb.misses").inc(total_misses)
     return TlbResult(
         entries=entries,
         misses=total_misses,

@@ -10,6 +10,12 @@ Commands:
   (static decay vs adaptive re-layout, epoch by epoch).
 * ``cache``    -- inspect (``info``) or wipe (``clear``) the artifact cache.
 * ``summary``  -- concatenate saved benchmark result tables.
+* ``report``   -- render one Markdown/HTML run report from a results
+  directory (figure tables, metric summaries, span flamegraph).
+* ``bench-diff`` -- compare fresh ``BENCH_*.json`` against a baseline
+  directory; non-zero exit on regressions beyond the threshold.
+* ``trace-export`` -- convert a span-trace JSONL into Chrome's
+  ``chrome://tracing`` / Perfetto JSON format.
 
 Figures run on the quick experiment by default; pass ``--full`` for
 the paper-scale configuration used by the benchmark suite.  Stage
@@ -19,7 +25,8 @@ content-addressed cache (``--cache-dir``, default ``~/.cache/repro``;
 simulators, and ``--jobs N`` fans independent sweep cells across
 worker processes with bit-identical output.  A per-stage run log
 (wall time, cache hit/miss, bytes) is printed to stderr after each
-command unless ``--quiet`` is given.
+command unless ``--quiet`` is given.  ``--trace PATH`` records
+:mod:`repro.obs` spans to a JSONL file for ``report``/``trace-export``.
 """
 
 from __future__ import annotations
@@ -40,6 +47,10 @@ from repro.harness import (
 #: figure name -> callable(exp) returning one or more Tables.
 _FIGURES: Dict[str, Callable] = {
     "fig03": lambda exp: [figures.fig03_execution_profile(exp)],
+    "fig04": lambda exp: [
+        figures.fig04_table(figures.fig04_cache_sweep(exp, combo), combo)
+        for combo in ("base", "all")
+    ],
     "fig05": lambda exp: [
         figures.fig05_relative(
             figures.fig04_cache_sweep(exp, "base"),
@@ -94,6 +105,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true",
         help="suppress the per-stage run log on stderr",
     )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record observability spans to a JSONL trace file "
+        "(view with 'report' or 'trace-export')",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("info", help="describe the generated system")
@@ -102,6 +118,10 @@ def _build_parser() -> argparse.ArgumentParser:
     figure.add_argument(
         "names", nargs="+", choices=sorted(_FIGURES) + ["all"],
         help="figure ids (or 'all')",
+    )
+    figure.add_argument(
+        "--save-json", default=None, metavar="DIR",
+        help="also write each table as BENCH_<figure>.json under DIR",
     )
 
     sub.add_parser("sweep", help="Figure 4/5 cache sweep (base + optimized)")
@@ -162,6 +182,58 @@ def _build_parser() -> argparse.ArgumentParser:
     summary.add_argument(
         "--results-dir", default="benchmarks/results",
         help="directory holding the *.txt tables written by the benchmarks",
+    )
+
+    report = sub.add_parser(
+        "report", help="render a Markdown/HTML run report from BENCH_*.json"
+    )
+    report.add_argument(
+        "results_dir", nargs="?", default="benchmarks/results",
+        help="directory holding BENCH_*.json documents "
+        "(default benchmarks/results)",
+    )
+    report.add_argument(
+        "--trace-file", default=None, metavar="PATH",
+        help="span-trace JSONL to render as a flamegraph section",
+    )
+    report.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the report to PATH instead of stdout",
+    )
+    report.add_argument(
+        "--html", action="store_true",
+        help="emit a self-contained HTML page instead of Markdown",
+    )
+
+    diff = sub.add_parser(
+        "bench-diff",
+        help="compare fresh BENCH_*.json against a baseline directory",
+    )
+    diff.add_argument(
+        "fresh_dir", help="directory holding the fresh BENCH_*.json documents"
+    )
+    diff.add_argument(
+        "--baseline", default="benchmarks/baselines", metavar="DIR",
+        help="baseline directory (default benchmarks/baselines)",
+    )
+    diff.add_argument(
+        "--threshold", type=float, default=8.0, metavar="PCT",
+        help="regression threshold in percent (default 8)",
+    )
+    diff.add_argument(
+        "--wall-time", action="store_true",
+        help="also gate summed pipeline stage wall time (machine-dependent; "
+        "off by default)",
+    )
+
+    export = sub.add_parser(
+        "trace-export",
+        help="convert a span-trace JSONL to Chrome trace_event JSON",
+    )
+    export.add_argument("trace_file", help="span-trace JSONL written via --trace")
+    export.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="output path (default <trace_file>.chrome.json)",
     )
     return parser
 
@@ -232,14 +304,40 @@ def _footprint_kb(profile) -> int:
     return dynamic_footprint_bytes(profile) // 1024
 
 
+def _figure_slug(name: str, table, index: int, count: int) -> str:
+    """Stable BENCH slug for one figure table.
+
+    Multi-table figures carry the combo in the title — ``Figure 4
+    (base): ...`` becomes ``fig04_base``; untagged extras fall back to
+    a positional suffix.
+    """
+    import re
+
+    if count == 1:
+        return name
+    match = re.search(r"\(([A-Za-z0-9+_-]+)\)", table.title)
+    if match:
+        return f"{name}_{match.group(1).replace('+', '_')}"
+    return f"{name}_{index}"
+
+
 def _cmd_figure(args, out) -> int:
     exp = _experiment(args)
     names: List[str] = (
         sorted(_FIGURES) if "all" in args.names else list(dict.fromkeys(args.names))
     )
     for name in names:
-        for table in _FIGURES[name](exp):
+        tables = _FIGURES[name](exp)
+        for index, table in enumerate(tables):
             out.write(table.render() + "\n")
+            if args.save_json:
+                from repro.harness import write_benchmark_json
+
+                write_benchmark_json(
+                    _figure_slug(name, table, index, len(tables)),
+                    table,
+                    args.save_json,
+                )
     _emit_runlog(exp, args)
     return 0
 
@@ -340,10 +438,52 @@ def _cmd_summary(args, out) -> int:
     return 0
 
 
+def _cmd_report(args, out) -> int:
+    from repro.obs.report import render_html, render_report
+
+    text = render_report(args.results_dir, trace_path=args.trace_file)
+    if args.html:
+        text = render_html(text)
+    if args.out:
+        import pathlib
+
+        pathlib.Path(args.out).write_text(text)
+        out.write(f"wrote {args.out}\n")
+    else:
+        out.write(text)
+    return 0
+
+
+def _cmd_bench_diff(args, out) -> int:
+    from repro.obs.benchdiff import compare_dirs
+
+    report = compare_dirs(
+        args.fresh_dir,
+        args.baseline,
+        threshold_pct=args.threshold,
+        wall_time=args.wall_time,
+    )
+    out.write(report.render())
+    return 0 if report.ok else 1
+
+
+def _cmd_trace_export(args, out) -> int:
+    from repro.obs.chrome import export_chrome_trace
+
+    out_path = args.out or f"{args.trace_file}.chrome.json"
+    written = export_chrome_trace(args.trace_file, out_path)
+    out.write(f"wrote {written}\n")
+    return 0
+
+
 def main(argv=None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
+    from repro import obs
+
     out = out or sys.stdout
     args = _build_parser().parse_args(argv)
+    if args.trace:
+        obs.enable(trace_path=args.trace)
     handlers = {
         "info": _cmd_info,
         "figure": _cmd_figure,
@@ -352,5 +492,13 @@ def main(argv=None, out=None) -> int:
         "online": _cmd_online,
         "cache": _cmd_cache,
         "summary": _cmd_summary,
+        "report": _cmd_report,
+        "bench-diff": _cmd_bench_diff,
+        "trace-export": _cmd_trace_export,
     }
-    return handlers[args.command](args, out)
+    try:
+        return handlers[args.command](args, out)
+    finally:
+        if args.trace:
+            obs.flush_metrics()
+            obs.disable()

@@ -14,6 +14,8 @@ from repro.harness import figures
 from repro.harness.parallel import parallel_map, resolve_jobs
 from repro.harness.results import (
     RESULTS_SCHEMA_VERSION,
+    read_history,
+    run_id,
     table_payload,
     write_benchmark_json,
 )
@@ -51,7 +53,9 @@ __all__ = [
     "load_program",
     "load_trace",
     "parallel_map",
+    "read_history",
     "resolve_jobs",
+    "run_id",
     "save_layout",
     "save_profile",
     "save_program",

@@ -28,7 +28,7 @@ import numpy as np
 
 from repro.errors import ConfigError, SimulationError
 from repro.execution import CombinedAddressMap, OltpSystem, SystemConfig, SystemTrace
-from repro.harness.runlog import CACHE_HIT, CACHE_MISS, CACHE_OFF, LOGGER, RunLog
+from repro.harness.runlog import CACHE_HIT, CACHE_MISS, CACHE_OFF, RunLog
 from repro.harness.store import (
     ArtifactStore,
     load_layout,
@@ -229,26 +229,13 @@ class Experiment:
         degrades to a miss so the stage recomputes."""
         if self.store is None:
             return None
-        path = self.store.path(self.fingerprint, name)
-        if not path.is_file():
-            return None
-        try:
-            return loader(path)
-        except Exception as exc:  # corrupt/stale entries must not kill runs
-            LOGGER.warning("cache entry %s unreadable (%s); recomputing", path, exc)
-            return None
+        return self.store.load(self.fingerprint, name, loader)
 
     def _store_save(self, name: str, obj, saver) -> int:
         """Persist one artifact; returns bytes written (0 when off)."""
         if self.store is None:
             return 0
-        try:
-            path = self.store.prepare(self.fingerprint, name)
-            saver(obj, path)
-            return path.stat().st_size
-        except OSError as exc:  # read-only cache dir etc.
-            LOGGER.warning("cannot persist %s (%s); continuing uncached", name, exc)
-            return 0
+        return self.store.save(self.fingerprint, name, obj, saver)
 
     def _staged(self, stage: str, detail: str, name: str, loader, builder, saver):
         """Run one cacheable stage: disk load, else build + persist."""
@@ -266,6 +253,7 @@ class Experiment:
 
     @property
     def app(self) -> CompiledProgram:
+        """The compiled application binary (cached stage product)."""
         if self._app is None:
             self._app = self._staged(
                 "codegen", "app", "app.pkl",
@@ -277,6 +265,7 @@ class Experiment:
 
     @property
     def kernel(self) -> CompiledProgram:
+        """The compiled kernel binary (cached stage product)."""
         if self._kernel is None:
             self._kernel = self._staged(
                 "codegen", "kernel", "kernel.pkl",
@@ -347,6 +336,7 @@ class Experiment:
 
     @property
     def kernel_profile(self) -> Profile:
+        """The kernel-side Pixie profile from the profiling run."""
         _ = self.profile  # ensures the profiling run happened
         return self._kernel_profile
 
@@ -354,12 +344,14 @@ class Experiment:
 
     @property
     def optimizer(self) -> SpikeOptimizer:
+        """The app Spike optimizer over the profiling run's profile."""
         if self._optimizer is None:
             self._optimizer = SpikeOptimizer(self.app.binary, self.profile)
         return self._optimizer
 
     @property
     def kernel_optimizer(self) -> SpikeOptimizer:
+        """The kernel Spike optimizer over the kernel profile."""
         if self._kernel_optimizer is None:
             self._kernel_optimizer = SpikeOptimizer(
                 self.kernel.binary, self.kernel_profile
@@ -380,6 +372,7 @@ class Experiment:
         return self._layouts[combo]
 
     def kernel_layout(self, combo: str) -> Layout:
+        """The kernel layout for ``combo`` (cached per combo)."""
         combo = Combo.parse(combo).value
         if combo not in self._kernel_layouts:
             if combo == "base":
@@ -394,6 +387,7 @@ class Experiment:
         return self._kernel_layouts[combo]
 
     def address_map(self, combo: str, kernel_combo: str = "base") -> CombinedAddressMap:
+        """The combined app+kernel address map for a combo pair."""
         key = (Combo.parse(combo).value, Combo.parse(kernel_combo).value)
         if key not in self._amaps:
             app_map = assign_addresses(self.app.binary, self.layout(key[0]))

@@ -59,6 +59,7 @@ class Table:
     notes: List[str] = field(default_factory=list)
 
     def render(self) -> str:
+        """The table as aligned plain text."""
         widths = [
             max(len(str(col)), *(len(_fmt(row[i])) for row in self.rows))
             if self.rows
@@ -196,6 +197,7 @@ def fig04_cache_sweep(
 
 
 def fig04_table(grid: Dict[Tuple[int, int], int], combo: str) -> Table:
+    """One Figure 4 sweep grid as a printable size-by-line table."""
     rows = []
     for size in SWEEP_SIZES:
         rows.append(
@@ -209,6 +211,7 @@ def fig04_table(grid: Dict[Tuple[int, int], int], combo: str) -> Table:
 
 
 def fig05_relative(base_grid, opt_grid) -> Table:
+    """Optimized misses as a percentage of baseline (Figure 5)."""
     rows = []
     for size in SWEEP_SIZES:
         row = [size // 1024]
@@ -228,6 +231,7 @@ def fig05_relative(base_grid, opt_grid) -> Table:
 
 
 def fig06_associativity(exp: Experiment, jobs: Optional[int] = None) -> Table:
+    """Miss rate vs associativity at fixed size/line (Figure 6)."""
     combos = ("base", "all")
     with exp.runlog.stage("sweep", "fig06"):
         _publish_streams(
@@ -268,6 +272,7 @@ def fig07_ablation(
     combos: Sequence[str] = PAPER_COMBOS,
     jobs: Optional[int] = None,
 ) -> Table:
+    """Optimization-combination ablation at fixed geometry (Figure 7)."""
     with exp.runlog.stage("sweep", "fig07"):
         _publish_streams(
             {combo: list(exp.streams(combo, scope="app")) for combo in combos}
@@ -303,6 +308,7 @@ def fig07_ablation(
 
 
 def fig08_sequences(exp: Experiment) -> Tuple[Table, Table]:
+    """Sequential-run length and fetch-break tables (Figure 8)."""
     sizes = np.array(
         [b.size for b in exp.app.binary.blocks()], dtype=np.int64
     )
@@ -351,6 +357,7 @@ def detailed_results(exp: Experiment, combo: str) -> ICacheResult:
 
 
 def fig09_word_usage(base: ICacheResult, opt: ICacheResult) -> Table:
+    """Fetched-word usage before/after optimization (Figure 9)."""
     rows = []
     base_frac = base.locality.unique_words_fractions() * 100
     opt_frac = opt.locality.unique_words_fractions() * 100
@@ -366,6 +373,7 @@ def fig09_word_usage(base: ICacheResult, opt: ICacheResult) -> Table:
 
 
 def fig10_word_reuse(base: ICacheResult, opt: ICacheResult) -> Table:
+    """Cache-line word reuse distribution (Figure 10)."""
     rows = []
     base_frac = base.locality.word_reuse_fractions() * 100
     opt_frac = opt.locality.word_reuse_fractions() * 100
@@ -385,6 +393,7 @@ def fig10_word_reuse(base: ICacheResult, opt: ICacheResult) -> Table:
 
 
 def fig11_lifetimes(base: ICacheResult, opt: ICacheResult) -> Table:
+    """Cache-line lifetime distribution (Figure 11)."""
     base_frac = base.locality.lifetime_fractions() * 100
     opt_frac = opt.locality.lifetime_fractions() * 100
     rows = []
@@ -409,6 +418,7 @@ def fig11_lifetimes(base: ICacheResult, opt: ICacheResult) -> Table:
 
 
 def text_packing(exp: Experiment) -> Table:
+    """Static/dynamic footprint packing summary (text table)."""
     base_lines = union_footprint_in_lines(exp.streams("base", scope="app"), 128)
     opt_lines = union_footprint_in_lines(exp.streams("all", scope="app"), 128)
     return Table(
@@ -427,6 +437,7 @@ def text_packing(exp: Experiment) -> Table:
 
 
 def fig12_combined(exp: Experiment, combo: str) -> Table:
+    """App+kernel combined miss rates for one combo (Figure 12)."""
     rows = []
     for size in SWEEP_SIZES:
         geometry = CacheGeometry(size, 128, 4)
@@ -449,6 +460,7 @@ def fig12_combined(exp: Experiment, combo: str) -> Table:
 
 
 def fig13_interference(exp: Experiment, combo: str) -> Table:
+    """App/kernel interference breakdown for one combo (Figure 13)."""
     result = simulate_lru(exp.streams(combo, scope="combined"), DETAIL_GEOMETRY)
     breakdown = InterferenceBreakdown.from_matrix(result.interference)
     rows = []
@@ -473,6 +485,7 @@ def fig13_interference(exp: Experiment, combo: str) -> Table:
 
 
 def fig14_itlb_l2(exp: Experiment) -> Table:
+    """iTLB and shared-L2 miss comparison (Figure 14)."""
     rows = []
     l2_geometry = CacheGeometry(1536 * 1024, 64, 6)
     l1_geometry = CacheGeometry(64 * 1024, 64, 2)
@@ -510,6 +523,7 @@ def fig15_exec_time(
     combos: Sequence[str] = PAPER_COMBOS,
     platforms: Sequence[Platform] = (ALPHA_21264, ALPHA_21164),
 ) -> Table:
+    """Estimated non-idle execution time per combo (Figure 15)."""
     data = list(zip(exp.trace.data_addresses, exp.trace.data_positions))
     rows = []
     rels = {}

@@ -17,6 +17,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator, List, Optional
 
+from repro import obs
+
 LOGGER = logging.getLogger("repro.harness")
 
 #: Cache states a stage can report.
@@ -36,6 +38,7 @@ class StageRecord:
     bytes: int = 0
 
     def describe(self) -> str:
+        """One summary line: stage, seconds, cache disposition, bytes."""
         label = f"{self.stage}[{self.detail}]" if self.detail else self.stage
         text = f"{label}: {self.seconds:.3f}s cache={self.cache}"
         if self.bytes:
@@ -51,15 +54,26 @@ class RunLog:
 
     @contextmanager
     def stage(self, stage: str, detail: str = "") -> Iterator[StageRecord]:
-        """Time one stage; the body sets ``cache``/``bytes`` on the record."""
+        """Time one stage; the body sets ``cache``/``bytes`` on the record.
+
+        Each stage also opens a ``stage.<name>`` tracing span and
+        records its wall time in the ``pipeline.<name>.seconds``
+        histogram, so pipeline timing shows up in trace files and in
+        the ``metrics`` section of benchmark results.
+        """
         record = StageRecord(stage=stage, detail=detail)
         start = time.perf_counter()
-        try:
-            yield record
-        finally:
-            record.seconds = time.perf_counter() - start
-            self.records.append(record)
-            LOGGER.info("%s", record.describe())
+        with obs.span(f"stage.{stage}", detail=detail or None) as span:
+            try:
+                yield record
+            finally:
+                record.seconds = time.perf_counter() - start
+                span.set("cache", record.cache)
+                if record.bytes:
+                    span.set("bytes", record.bytes)
+                obs.histogram(f"pipeline.{stage}.seconds").record(record.seconds)
+                self.records.append(record)
+                LOGGER.info("%s", record.describe())
 
     def cache_states(self, stage: Optional[str] = None) -> List[str]:
         """Cache states of all records (optionally for one stage)."""
@@ -76,6 +90,7 @@ class RunLog:
         return True
 
     def total_seconds(self) -> float:
+        """Wall time summed over every recorded stage."""
         return sum(r.seconds for r in self.records)
 
     def render(self, header: str = "pipeline stages") -> str:

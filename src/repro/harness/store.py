@@ -28,6 +28,7 @@ reruns of any figure skip codegen, profiling, and tracing entirely::
 from __future__ import annotations
 
 import json
+import logging
 import os
 import pathlib
 import pickle
@@ -37,10 +38,13 @@ from typing import Union
 
 import numpy as np
 
+from repro import obs
 from repro.errors import SimulationError
 from repro.execution.trace import CpuTrace, SystemTrace
 from repro.ir import Binary, CodeUnit, Layout
 from repro.profiles import Profile
+
+LOGGER = logging.getLogger("repro.harness")
 
 PathLike = Union[str, pathlib.Path]
 
@@ -228,6 +232,7 @@ class ArtifactStore:
         return self.root / fingerprint / name
 
     def has(self, fingerprint: str, name: str) -> bool:
+        """True when the artifact exists in the cache."""
         return self.path(fingerprint, name).is_file()
 
     def prepare(self, fingerprint: str, name: str) -> pathlib.Path:
@@ -235,6 +240,49 @@ class ArtifactStore:
         path = self.path(fingerprint, name)
         path.parent.mkdir(parents=True, exist_ok=True)
         return path
+
+    def load(self, fingerprint: str, name: str, loader):
+        """Load one artifact through ``loader(path)``.
+
+        Returns None on a miss; any load failure (missing, corrupt,
+        stale) degrades to a miss so callers recompute.  Hits, misses,
+        errors, and bytes read feed the ``store.*`` metrics
+        (:mod:`repro.obs`).
+        """
+        path = self.path(fingerprint, name)
+        if not path.is_file():
+            obs.counter("store.misses").inc()
+            return None
+        try:
+            obj = loader(path)
+        except Exception as exc:  # corrupt/stale entries must not kill runs
+            LOGGER.warning(
+                "cache entry %s unreadable (%s); recomputing", path, exc
+            )
+            obs.counter("store.errors").inc()
+            obs.counter("store.misses").inc()
+            return None
+        obs.counter("store.hits").inc()
+        obs.counter("store.bytes_read").inc(path.stat().st_size)
+        return obj
+
+    def save(self, fingerprint: str, name: str, obj, saver) -> int:
+        """Persist one artifact through ``saver(obj, path)``.
+
+        Returns bytes written (0 when the write failed, e.g. on a
+        read-only cache directory).  Writes and bytes feed the
+        ``store.*`` metrics.
+        """
+        try:
+            path = self.prepare(fingerprint, name)
+            saver(obj, path)
+            size = path.stat().st_size
+        except OSError as exc:  # read-only cache dir etc.
+            LOGGER.warning("cannot persist %s (%s); continuing uncached", name, exc)
+            return 0
+        obs.counter("store.writes").inc()
+        obs.counter("store.bytes_written").inc(size)
+        return size
 
     def info(self) -> StoreInfo:
         """Count cached experiments, files, and bytes."""

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.ir import FlowGraph, Procedure
 
 
@@ -96,14 +97,20 @@ def chain_blocks(
     """
     ids = [b.bid for b in proc.blocks]
     chains = _ChainSet(ids)
+    joins = 0
     for edge in graph.edges_by_weight():
         if edge.weight <= 0:
             break  # never chain on unexecuted edges
         if chains.can_join(edge.src, edge.dst):
             chains.join(edge.src, edge.dst)
+            joins += 1
 
     entry = proc.entry.bid
     built = chains.chains()
+    obs.counter("layout.chain.procedures").inc()
+    obs.counter("layout.chain.blocks").inc(len(ids))
+    obs.counter("layout.chain.joins").inc(joins)
+    obs.counter("layout.chain.chains").inc(len(built))
     entry_chain = next(c for c in built if entry in c)
     rest = [c for c in built if c is not entry_chain]
     # Decreasing execution count of the chain's first block; ties break

@@ -19,6 +19,7 @@ import heapq
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
+from repro import obs
 from repro.ir import Binary, CodeUnit, INSTRUCTION_BYTES, UnitCallGraph
 
 #: Alpha conditional branches reach +/- 1 MB (21-bit word displacement).
@@ -149,6 +150,9 @@ def order_units(
         ordered_names.extend(members)
 
     unit_by_name = {u.name: u for u in units}
+    obs.counter("layout.order.calls").inc()
+    obs.counter("layout.order.merges").inc(merges)
+    obs.counter("layout.order.displacement_refusals").inc(refusals)
     return OrderingResult(
         units=[unit_by_name[n] for n in ordered_names],
         displacement_refusals=refusals,

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.errors import LayoutError
 from repro.ir import (
     Binary,
@@ -188,6 +189,11 @@ class SpikeOptimizer:
         :class:`~repro.errors.LayoutError` listing the valid combos.
         """
         combo = Combo.parse(combo).value
+        obs.counter("layout.builds").inc()
+        with obs.span("layout.build", combo=combo):
+            return self._build(combo)
+
+    def _build(self, combo: str) -> Layout:
         if combo == "base":
             return baseline_layout(self.binary, alignment=self.proc_alignment)
         if combo == "porder":

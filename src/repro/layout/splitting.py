@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
+from repro import obs
 from repro.ir import Binary, CodeUnit, SEGMENT_ENDING
 from repro.layout.chaining import ChainingResult
 
@@ -36,6 +37,8 @@ def split_chains(binary: Binary, chaining: ChainingResult) -> List[CodeUnit]:
                 segment = []
         if segment:
             units.append(_make_unit(chaining.proc_name, len(units), segment, entry_bid))
+    obs.counter("layout.split.procedures").inc()
+    obs.counter("layout.split.segments").inc(len(units))
     return units
 
 

@@ -1,0 +1,205 @@
+"""Metric instruments: counters, gauges, histograms, and series.
+
+Instruments live in a :class:`MetricRegistry` keyed by a dotted name
+(``"icache.misses"``, ``"online.drift_score"``).  The default registry
+(:func:`repro.obs.registry`) is always on — recording is a few Python
+ops per call, and the hot simulator loops only touch instruments at
+stream/window granularity, never per access.
+
+Snapshots (:meth:`MetricRegistry.snapshot`) are plain JSON-ready
+dicts; :func:`repro.harness.results.write_benchmark_json` embeds one
+in every ``BENCH_*.json`` as the ``metrics`` section.
+
+All instruments are thread-safe (one registry-wide lock guards
+structural changes; per-instrument updates hold the instrument's own
+lock).  Forked worker processes mutate *copies* of the registry —
+their aggregates are not merged back; anything a worker must report
+should travel through its return value or the span sink instead.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+#: Points a Series keeps before it starts decimating (drop every other
+#: point and double the stride) — bounds memory on long runs while
+#: keeping full time coverage.
+SERIES_CAPACITY = 4096
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        with self._lock:
+            self.value += amount
+
+    def snapshot(self) -> Dict:
+        """JSON-ready view: ``{"kind": "counter", "value": n}``."""
+        return {"kind": self.kind, "value": self.value}
+
+
+class Gauge:
+    """A point-in-time float (last write wins)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = float(value)
+
+    def snapshot(self) -> Dict:
+        """JSON-ready view: ``{"kind": "gauge", "value": x}``."""
+        return {"kind": self.kind, "value": self.value}
+
+
+class Histogram:
+    """Streaming summary of observed values: count/sum/min/max/mean."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._lock = threading.Lock()
+
+    def record(self, value: float) -> None:
+        """Fold one observation into the summary."""
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.min = value if self.min is None else min(self.min, value)
+            self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> Optional[float]:
+        """Arithmetic mean of the observations (None when empty)."""
+        return self.total / self.count if self.count else None
+
+    def snapshot(self) -> Dict:
+        """JSON-ready view with count/sum/min/max/mean."""
+        return {
+            "kind": self.kind,
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class Series:
+    """An append-only time series of ``(index, value)`` points.
+
+    Used for the per-window miss-rate streams the cache simulators
+    emit.  ``index`` is the running window number.  Past
+    ``SERIES_CAPACITY`` points the series decimates: every other
+    stored point is dropped and only every ``stride``-th new point is
+    kept, so memory stays bounded on arbitrarily long runs.
+    """
+
+    kind = "series"
+
+    def __init__(self, name: str, capacity: int = SERIES_CAPACITY) -> None:
+        self.name = name
+        self.capacity = max(2, capacity)
+        self.points: List[Tuple[int, float]] = []
+        self.stride = 1
+        self._next_index = 0
+        self._lock = threading.Lock()
+
+    def record(self, value: float) -> None:
+        """Append one point at the next window index."""
+        with self._lock:
+            index = self._next_index
+            self._next_index += 1
+            if index % self.stride:
+                return
+            self.points.append((index, float(value)))
+            if len(self.points) >= self.capacity:
+                self.points = self.points[::2]
+                self.stride *= 2
+
+    def snapshot(self) -> Dict:
+        """JSON-ready view: points plus count/stride bookkeeping."""
+        with self._lock:
+            points = list(self.points)
+            return {
+                "kind": self.kind,
+                "count": self._next_index,
+                "stride": self.stride,
+                "points": [[i, v] for i, v in points],
+            }
+
+
+class MetricRegistry:
+    """Name -> instrument map with typed, create-on-first-use access."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, object] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name: str, factory):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._instruments.get(name)
+                if instrument is None:
+                    instrument = factory(name)
+                    self._instruments[name] = instrument
+        if not isinstance(instrument, factory):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, requested {factory.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        """The counter named ``name`` (created on first use)."""
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge named ``name`` (created on first use)."""
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram named ``name`` (created on first use)."""
+        return self._get(name, Histogram)
+
+    def series(self, name: str) -> Series:
+        """The series named ``name`` (created on first use)."""
+        return self._get(name, Series)
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """All instruments as a name-sorted JSON-ready dict."""
+        with self._lock:
+            items = sorted(self._instruments.items())
+        return {name: instrument.snapshot() for name, instrument in items}
+
+    def reset(self) -> None:
+        """Drop every instrument (tests and fresh CLI commands)."""
+        with self._lock:
+            self._instruments.clear()
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments

@@ -1,0 +1,210 @@
+"""One-page run reports from a results directory.
+
+``repro report`` gathers everything a run left behind — the
+``BENCH_*.json`` documents, their embedded :mod:`repro.obs` metric
+snapshots, and (optionally) a span trace JSONL — and renders a single
+Markdown document: figure tables, metric summaries, and an ASCII
+flamegraph of where the wall time went.  ``--html`` wraps the same
+content in a minimal self-contained page.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import pathlib
+from typing import Dict, List, Optional, Union
+
+from repro.obs.benchdiff import load_bench_dir
+from repro.obs.sink import read_events
+
+PathLike = Union[str, pathlib.Path]
+
+#: Width of the flamegraph bar column.
+FLAME_WIDTH = 40
+
+
+def _md_table(columns: List[str], rows: List[List]) -> str:
+    header = "| " + " | ".join(str(c) for c in columns) + " |"
+    rule = "|" + "|".join(" --- " for _ in columns) + "|"
+    body = [
+        "| " + " | ".join(str(cell) for cell in row) + " |" for row in rows
+    ]
+    return "\n".join([header, rule] + body)
+
+
+def _sparkline(points: List[float]) -> str:
+    """A unicode block-character sparkline for a metric series."""
+    if not points:
+        return ""
+    blocks = "▁▂▃▄▅▆▇█"
+    lo, hi = min(points), max(points)
+    span = hi - lo
+    if span <= 0:
+        return blocks[0] * min(len(points), 60)
+    step = max(1, len(points) // 60)
+    sampled = points[::step][:60]
+    return "".join(
+        blocks[min(len(blocks) - 1, int((p - lo) / span * (len(blocks) - 1)))]
+        for p in sampled
+    )
+
+
+def _metrics_section(name: str, metrics: Dict) -> List[str]:
+    lines = [f"### Metrics: {name}", ""]
+    counters = []
+    gauges = []
+    histograms = []
+    series = []
+    for metric, payload in sorted(metrics.items()):
+        kind = payload.get("kind")
+        if kind == "counter":
+            counters.append([metric, payload.get("value")])
+        elif kind == "gauge":
+            gauges.append([metric, payload.get("value")])
+        elif kind == "histogram":
+            histograms.append(
+                [
+                    metric,
+                    payload.get("count"),
+                    _fmt(payload.get("mean")),
+                    _fmt(payload.get("min")),
+                    _fmt(payload.get("max")),
+                    _fmt(payload.get("sum")),
+                ]
+            )
+        elif kind == "series":
+            # Series snapshots hold (index, value) pairs.
+            points = [float(p[1]) for p in payload.get("points", [])]
+            series.append(
+                [
+                    metric,
+                    payload.get("count"),
+                    _fmt(min(points)) if points else "-",
+                    _fmt(max(points)) if points else "-",
+                    f"`{_sparkline(points)}`" if points else "-",
+                ]
+            )
+    if counters:
+        lines += [_md_table(["counter", "value"], counters), ""]
+    if gauges:
+        lines += [_md_table(["gauge", "value"], gauges), ""]
+    if histograms:
+        lines += [
+            _md_table(
+                ["histogram", "count", "mean", "min", "max", "sum"], histograms
+            ),
+            "",
+        ]
+    if series:
+        lines += [
+            _md_table(["series", "points", "min", "max", "shape"], series),
+            "",
+        ]
+    return lines
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def flamegraph_lines(trace_path: PathLike, width: int = FLAME_WIDTH) -> List[str]:
+    """ASCII flamegraph of the span tree in a trace JSONL.
+
+    Spans nest by ``parent_id``; each line shows an indented span name,
+    a bar proportional to its wall time against the root total, and the
+    time itself.  Multiple roots (e.g. spans from forked workers) are
+    rendered as siblings.
+    """
+    spans = [e for e in read_events(trace_path) if e.get("type") == "span"]
+    if not spans:
+        return []
+    by_id = {s["span_id"]: s for s in spans}
+    children: Dict[Optional[str], List[Dict]] = {}
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent not in by_id:
+            parent = None
+        children.setdefault(parent, []).append(span)
+    for bucket in children.values():
+        bucket.sort(key=lambda s: s.get("ts", 0.0))
+    total = sum(s.get("wall_s", 0.0) for s in children.get(None, [])) or 1.0
+
+    lines: List[str] = []
+
+    def walk(span: Dict, depth: int) -> None:
+        wall = span.get("wall_s", 0.0)
+        bar = "█" * max(1, round(width * wall / total))
+        indent = "  " * depth
+        lines.append(
+            f"{indent}{span['name']:<{max(1, 28 - 2 * depth)}} "
+            f"{bar:<{width}} {wall * 1000:9.2f} ms"
+        )
+        for child in children.get(span["span_id"], []):
+            walk(child, depth + 1)
+
+    for root in children.get(None, []):
+        walk(root, 0)
+    return lines
+
+
+def render_report(
+    results_dir: PathLike, trace_path: Optional[PathLike] = None
+) -> str:
+    """The Markdown run report for one results directory."""
+    documents = load_bench_dir(results_dir)
+    lines: List[str] = ["# Run report", ""]
+    if not documents:
+        lines.append(f"No `BENCH_*.json` documents found in `{results_dir}`.")
+        lines.append("")
+    run_ids = sorted(
+        {
+            doc.get("run", {}).get("id")
+            for doc in documents.values()
+            if doc.get("run", {}).get("id")
+        }
+    )
+    if run_ids:
+        lines.append(f"Run id(s): {', '.join(run_ids)}")
+        lines.append("")
+    for name, document in sorted(documents.items()):
+        title = document.get("title") or name
+        lines += [f"## {title}", ""]
+        columns = document.get("columns") or []
+        rows = document.get("rows") or []
+        if columns and rows:
+            lines += [_md_table(columns, rows), ""]
+        for note in document.get("notes") or []:
+            lines.append(f"> {note}")
+        if document.get("notes"):
+            lines.append("")
+        metrics = document.get("metrics") or {}
+        if metrics:
+            lines += _metrics_section(name, metrics)
+    if trace_path is not None and pathlib.Path(trace_path).is_file():
+        flame = flamegraph_lines(trace_path)
+        if flame:
+            lines += ["## Span flamegraph", "", "```"] + flame + ["```", ""]
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def render_html(markdown: str, title: str = "repro run report") -> str:
+    """A minimal self-contained HTML wrapper around the Markdown report.
+
+    The report is intentionally served as preformatted Markdown — no
+    third-party renderer is available in the pinned environment, and
+    the tables read fine monospaced.
+    """
+    return (
+        "<!DOCTYPE html>\n"
+        "<html><head><meta charset=\"utf-8\">"
+        f"<title>{_html.escape(title)}</title>"
+        "<style>body{font-family:monospace;white-space:pre-wrap;"
+        "max-width:100ch;margin:2em auto;}</style>"
+        "</head><body>"
+        f"{_html.escape(markdown)}"
+        "</body></html>\n"
+    )

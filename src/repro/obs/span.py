@@ -1,0 +1,171 @@
+"""Hierarchical tracing spans.
+
+A span measures one named region of work — a pipeline stage, one
+layout build, one simulated sweep cell.  Spans nest: each thread keeps
+a stack, and a span records its parent's id, so the emitted events
+reconstruct the call tree (``repro report`` renders it as an ASCII
+flamegraph; :mod:`repro.obs.chrome` exports it for ``chrome://tracing``
+/ Perfetto).
+
+Each finished span captures:
+
+* ``wall_s``  — wall time (``perf_counter`` delta);
+* ``cpu_s``   — process CPU time (``process_time`` delta);
+* ``rss_kb``  — peak RSS of the process at span end
+  (``getrusage(RUSAGE_SELF).ru_maxrss``; 0 where unavailable);
+* ``attrs``   — caller-provided key/values (combo names, cache
+  hit/miss, byte counts ...).
+
+Span ids are ``"<pid>:<serial>"`` so ids from forked worker processes
+never collide in a shared sink.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-Unix platforms
+    resource = None
+
+from repro.obs.sink import JsonlSink
+
+
+def peak_rss_kb() -> int:
+    """Peak resident set size of this process in KiB (0 if unknown)."""
+    if resource is None:  # pragma: no cover - non-Unix platforms
+        return 0
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+class Span:
+    """One open (then finished) traced region."""
+
+    __slots__ = (
+        "name", "attrs", "span_id", "parent_id", "pid", "tid",
+        "start_unix", "wall_s", "cpu_s", "rss_kb", "_t0", "_cpu0",
+    )
+
+    def __init__(
+        self, name: str, attrs: Dict, span_id: str, parent_id: Optional[str]
+    ) -> None:
+        self.name = name
+        self.attrs = dict(attrs)
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.pid = os.getpid()
+        self.tid = threading.get_ident()
+        self.start_unix = time.time()
+        self.wall_s = 0.0
+        self.cpu_s = 0.0
+        self.rss_kb = 0
+        self._t0 = time.perf_counter()
+        self._cpu0 = time.process_time()
+
+    def set(self, key: str, value) -> None:
+        """Attach (or overwrite) one attribute on the open span."""
+        self.attrs[key] = value
+
+    def finish(self) -> None:
+        """Close the span, capturing wall/CPU time and peak RSS."""
+        self.wall_s = time.perf_counter() - self._t0
+        self.cpu_s = time.process_time() - self._cpu0
+        self.rss_kb = peak_rss_kb()
+
+    def to_event(self) -> Dict:
+        """The span as a sink event (see docs/OBSERVABILITY.md)."""
+        return {
+            "type": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "pid": self.pid,
+            "tid": self.tid,
+            "ts": round(self.start_unix, 6),
+            "wall_s": round(self.wall_s, 6),
+            "cpu_s": round(self.cpu_s, 6),
+            "rss_kb": self.rss_kb,
+            "attrs": self.attrs,
+        }
+
+
+class _NullSpan:
+    """Shared span stand-in when tracing is disabled; absorbs sets."""
+
+    __slots__ = ()
+
+    def set(self, key: str, value) -> None:
+        """No-op (tracing disabled)."""
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Per-process span factory: thread-local nesting, optional sink.
+
+    With no sink and ``record=False`` (the defaults) ``span()`` is a
+    cheap no-op context manager, so instrumented call sites cost
+    almost nothing in untraced runs.
+    """
+
+    def __init__(
+        self, sink: Optional[JsonlSink] = None, record: bool = False
+    ) -> None:
+        self.sink = sink
+        self.record = record
+        #: Finished spans kept in memory when ``record`` is set.
+        self.finished: List[Span] = []
+        self._local = threading.local()
+        self._serial = itertools.count(1)
+
+    @property
+    def active(self) -> bool:
+        """True when spans are being captured (sink or recording)."""
+        return self.sink is not None or self.record
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    @contextmanager
+    def span(self, name: str, **attrs) -> Iterator[object]:
+        """Open a nested span; yields it so callers can ``set`` attrs.
+
+        Attributes with value ``None`` are dropped.  When the tracer
+        is inactive this yields a shared no-op span.
+        """
+        if not self.active:
+            yield NULL_SPAN
+            return
+        stack = self._stack()
+        parent = stack[-1].span_id if stack else None
+        span = Span(
+            name,
+            {k: v for k, v in attrs.items() if v is not None},
+            span_id=f"{os.getpid()}:{next(self._serial)}",
+            parent_id=parent,
+        )
+        stack.append(span)
+        try:
+            yield span
+        finally:
+            stack.pop()
+            span.finish()
+            if self.record:
+                self.finished.append(span)
+            if self.sink is not None:
+                self.sink.emit(span.to_event())
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span of this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None

@@ -34,6 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro import obs
 from repro.ir import AddressMap, Binary, Layout
 from repro.online.drift import DriftDetector, DriftReport
 from repro.online.relayout import AdaptiveRelayout, RelayoutResult
@@ -85,6 +86,7 @@ class AdaptiveController:
 
     @property
     def layout(self) -> Layout:
+        """The layout live traffic currently runs under."""
         return self._current.layout
 
     @property
@@ -111,6 +113,7 @@ class AdaptiveController:
                 report=None,
                 relayout=None,
             )
+            obs.counter("online.actions.hold").inc()
             self.decisions.append(decision)
             return decision
 
@@ -127,6 +130,9 @@ class AdaptiveController:
             if self.detector.accumulated is not None:
                 training.merge(self.detector.accumulated)
 
+        obs.counter(f"online.actions.{action}").inc()
+        obs.gauge("online.drift_score").set(report.score)
+        obs.series("online.drift_scores").record(report.score)
         result = self.relayout.rebuild(
             training,
             previous=self._current.optimizer,

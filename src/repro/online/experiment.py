@@ -89,6 +89,7 @@ class OnlineConfig:
 
     @property
     def geometry(self) -> CacheGeometry:
+        """The measurement I-cache geometry."""
         return CacheGeometry(self.cache_bytes, self.line_bytes, self.associativity)
 
 
@@ -109,10 +110,12 @@ class EpochRow:
 
     @property
     def adaptive_vs_reprofiled(self) -> float:
+        """Adaptive-arm MPKI relative to fresh offline re-profiling."""
         return self.adaptive_mpki / max(self.reprofiled_mpki, 1e-12)
 
     @property
     def static_vs_reprofiled(self) -> float:
+        """Static-arm MPKI relative to fresh offline re-profiling."""
         return self.static_mpki / max(self.reprofiled_mpki, 1e-12)
 
 
@@ -126,6 +129,7 @@ class OnlineReport:
 
     @property
     def final(self) -> EpochRow:
+        """The last epoch's row (the post-shift steady state)."""
         return self.rows[-1]
 
     @property
@@ -151,6 +155,7 @@ class OnlineReport:
         )
 
     def to_dict(self) -> Dict:
+        """The report as a JSON-ready dict (the ``--json`` CLI form)."""
         return {
             "config": {
                 "epochs": self.config.epochs,
@@ -187,6 +192,7 @@ class OnlineReport:
         }
 
     def render(self) -> str:
+        """The human-readable epoch-by-epoch four-arm table."""
         lines = [
             "online adaptation: TPC-B -> DSS phase shift "
             f"({self.config.epochs} epochs, period={self.config.period}, "

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from repro import obs
 from repro.harness.runlog import CACHE_HIT, CACHE_MISS, CACHE_OFF, RunLog
 from repro.harness.store import ArtifactStore, load_layout, save_layout
 from repro.ir import AddressMap, Binary, Layout, assign_addresses
@@ -105,6 +106,8 @@ class AdaptiveRelayout:
             layout = optimizer.layout(self.combo)
             record.cache = CACHE_OFF if self.store is None else CACHE_MISS
             record.bytes = self._save(fingerprint, name, layout)
+            obs.counter("online.rebuilds").inc()
+            obs.counter("online.reused_chains").inc(reused)
             return RelayoutResult(
                 layout=layout,
                 address_map=assign_addresses(self.binary, layout),

@@ -71,6 +71,7 @@ class OnlineSampler:
 
     @property
     def cpus(self) -> int:
+        """Number of per-CPU samplers."""
         return len(self._samplers)
 
     @property

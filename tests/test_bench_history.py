@@ -1,0 +1,89 @@
+"""write_benchmark_json: schema v2 provenance, metrics embedding, and
+the append-only history trail that survives overwrites."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.harness import read_history, run_id, write_benchmark_json
+from repro.harness.figures import Table
+from repro.harness.results import RESULTS_SCHEMA_VERSION
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.reset_metrics()
+    yield
+    obs.reset_metrics()
+
+
+def table(misses):
+    return Table(
+        title="Synthetic",
+        columns=["size_KB", "misses"],
+        rows=[[32, misses]],
+    )
+
+
+class TestDocumentShape:
+    def test_schema_and_run_section(self, tmp_path):
+        path = write_benchmark_json("t", table(100), tmp_path)
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == RESULTS_SCHEMA_VERSION
+        assert doc["run"]["id"] == run_id()
+        assert "timestamp" in doc["run"] and "unix_time" in doc["run"]
+
+    def test_metrics_embedded_when_recorded(self, tmp_path):
+        obs.counter("icache.misses").inc(7)
+        doc = json.loads(
+            write_benchmark_json("t", table(100), tmp_path).read_text()
+        )
+        assert doc["metrics"]["icache.misses"]["value"] == 7
+
+    def test_metrics_omitted_when_empty(self, tmp_path):
+        doc = json.loads(
+            write_benchmark_json("t", table(100), tmp_path).read_text()
+        )
+        assert "metrics" not in doc
+
+    def test_run_id_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RUN_ID", "ci-12345")
+        doc = json.loads(
+            write_benchmark_json("t", table(100), tmp_path).read_text()
+        )
+        assert doc["run"]["id"] == "ci-12345"
+
+
+class TestHistory:
+    def test_overwrite_appends_history(self, tmp_path):
+        write_benchmark_json("t", table(100), tmp_path)
+        write_benchmark_json("t", table(90), tmp_path)
+
+        # The latest document wins in place...
+        latest = json.loads((tmp_path / "BENCH_t.json").read_text())
+        assert latest["rows"] == [[32, 90]]
+
+        # ...but both runs survive in the history trail, oldest first.
+        runs = read_history("t", tmp_path)
+        assert [r["rows"][0][1] for r in runs] == [100, 90]
+        assert all(r["run"]["id"] for r in runs)
+
+    def test_history_opt_out(self, tmp_path):
+        write_benchmark_json("t", table(100), tmp_path, history=False)
+        assert not (tmp_path / "BENCH_t.history.jsonl").exists()
+        assert read_history("t", tmp_path) == []
+
+    def test_corrupt_history_line_raises(self, tmp_path):
+        write_benchmark_json("t", table(100), tmp_path)
+        history = tmp_path / "BENCH_t.history.jsonl"
+        history.write_text(history.read_text() + "not json\n")
+        with pytest.raises(ValueError, match="corrupt history"):
+            read_history("t", tmp_path)
+
+    def test_dict_payload_supported(self, tmp_path):
+        payload = {"title": "x", "columns": ["a"], "rows": [[1]]}
+        write_benchmark_json("d", payload, tmp_path, extra={"tag": "v"})
+        (run,) = read_history("d", tmp_path)
+        assert run["tag"] == "v"
+        assert run["name"] == "d"

@@ -42,3 +42,23 @@ class TestDocsIntegrity:
         design = (ROOT / "DESIGN.md").read_text()
         for combo in PAPER_COMBOS:
             assert combo in design
+
+
+class TestDocsLint:
+    """The tools/check_docs.py gate, run in-process."""
+
+    @pytest.fixture(autouse=True)
+    def _load_tool(self):
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location(
+            "check_docs", ROOT / "tools" / "check_docs.py"
+        )
+        self.check_docs = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(self.check_docs)
+
+    def test_public_symbols_have_docstrings(self):
+        assert self.check_docs.check_docstrings() == []
+
+    def test_markdown_links_resolve(self):
+        assert self.check_docs.check_links() == []

@@ -1,0 +1,237 @@
+"""Unit tests for the repro.obs core: spans, metrics, Chrome export."""
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.chrome import chrome_trace, spans_from_chrome
+from repro.obs.metrics import MetricRegistry, SERIES_CAPACITY
+from repro.obs.sink import JsonlSink, read_events
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Each test starts and ends with tracing off and metrics empty."""
+    obs.disable()
+    obs.reset_metrics()
+    yield
+    obs.disable()
+    obs.reset_metrics()
+
+
+class TestMetrics:
+    def test_counter_accumulates(self):
+        reg = MetricRegistry()
+        reg.counter("x").inc()
+        reg.counter("x").inc(4)
+        assert reg.counter("x").value == 5
+
+    def test_gauge_last_value_wins(self):
+        reg = MetricRegistry()
+        reg.gauge("g").set(1.0)
+        reg.gauge("g").set(2.5)
+        assert reg.gauge("g").value == 2.5
+
+    def test_histogram_stats(self):
+        reg = MetricRegistry()
+        for v in (1.0, 2.0, 3.0):
+            reg.histogram("h").record(v)
+        h = reg.histogram("h")
+        assert h.count == 3
+        assert h.total == 6.0
+        assert h.min == 1.0 and h.max == 3.0
+        assert h.mean == 2.0
+
+    def test_series_decimates_beyond_capacity(self):
+        reg = MetricRegistry()
+        s = reg.series("s")
+        for i in range(SERIES_CAPACITY * 2 + 10):
+            s.record(float(i))
+        assert len(s.points) <= SERIES_CAPACITY
+        assert s.stride > 1
+        # Points stay in recording order with increasing indexes.
+        indexes = [i for i, _ in s.points]
+        assert indexes == sorted(indexes)
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricRegistry()
+        reg.counter("m")
+        with pytest.raises(TypeError):
+            reg.gauge("m")
+
+    def test_snapshot_is_json_ready_and_sorted(self):
+        reg = MetricRegistry()
+        reg.counter("b").inc()
+        reg.gauge("a").set(1)
+        snap = reg.snapshot()
+        assert list(snap) == sorted(snap)
+        json.dumps(snap)  # must not raise
+
+    def test_reset_clears(self):
+        reg = MetricRegistry()
+        reg.counter("x").inc()
+        reg.reset()
+        assert len(reg) == 0
+
+    def test_registry_thread_safety(self):
+        reg = MetricRegistry()
+
+        def work():
+            for _ in range(1000):
+                reg.counter("shared").inc()
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.counter("shared").value == 8000
+
+
+class TestSpans:
+    def test_noop_when_disabled(self):
+        with obs.span("anything", foo=1) as span:
+            span.set("bar", 2)  # absorbed silently
+        assert obs.tracer().finished == []
+
+    def test_nesting_parent_ids(self):
+        obs.enable(record=True)
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        spans = {s.name: s for s in obs.tracer().finished}
+        assert spans["inner"].parent_id == spans["outer"].span_id
+        assert spans["outer"].parent_id is None
+
+    def test_span_timing_and_attrs(self):
+        obs.enable(record=True)
+        with obs.span("timed", combo="all") as span:
+            span.set("extra", 7)
+        (finished,) = obs.tracer().finished
+        event = finished.to_event()
+        assert event["type"] == "span"
+        assert event["wall_s"] >= 0.0
+        assert event["attrs"] == {"combo": "all", "extra": 7}
+
+    def test_sibling_threads_do_not_nest(self):
+        obs.enable(record=True)
+        ready = threading.Barrier(2)
+
+        def work(tag):
+            ready.wait()
+            with obs.span(tag):
+                pass
+
+        threads = [
+            threading.Thread(target=work, args=(f"t{i}",)) for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(s.parent_id is None for s in obs.tracer().finished)
+
+    def test_exception_still_finishes_span(self):
+        obs.enable(record=True)
+        with pytest.raises(RuntimeError):
+            with obs.span("failing"):
+                raise RuntimeError("boom")
+        assert [s.name for s in obs.tracer().finished] == ["failing"]
+
+
+class TestSink:
+    def test_events_round_trip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path)
+        sink.emit({"type": "span", "name": "a"})
+        sink.emit({"type": "span", "name": "b"})
+        sink.close()
+        names = [e["name"] for e in read_events(path)]
+        assert names == ["a", "b"]
+
+    def test_corrupt_line_raises(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n')
+        with pytest.raises(ValueError):
+            read_events(path)
+
+    def test_enable_writes_spans(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        obs.enable(trace_path=path)
+        with obs.span("traced", k="v"):
+            pass
+        obs.disable()
+        (event,) = read_events(path)
+        assert event["name"] == "traced"
+        assert event["attrs"] == {"k": "v"}
+
+    def test_threaded_emit_never_tears_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path)
+
+        def work(tag):
+            for i in range(200):
+                sink.emit({"tag": tag, "i": i, "pad": "x" * 64})
+
+        threads = [
+            threading.Thread(target=work, args=(t,)) for t in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        sink.close()
+        events = read_events(path)  # raises on any torn line
+        assert len(events) == 8 * 200
+
+
+class TestChromeExport:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        obs.enable(trace_path=path, record=True)
+        with obs.span("outer", combo="all"):
+            with obs.span("inner"):
+                pass
+        obs.disable()
+        original = [e for e in read_events(path) if e["type"] == "span"]
+        recovered = spans_from_chrome(chrome_trace(original))
+        assert [s["name"] for s in recovered] == [s["name"] for s in original]
+        for orig, back in zip(original, recovered):
+            assert back["span_id"] == orig["span_id"]
+            assert back["parent_id"] == orig["parent_id"]
+            assert back["attrs"] == orig["attrs"]
+            assert back["wall_s"] == pytest.approx(orig["wall_s"], abs=1e-5)
+
+    def test_metrics_become_instant_events(self):
+        doc = chrome_trace(
+            [{"type": "metrics", "ts": 1.0, "pid": 7, "metrics": {"a": 1}}]
+        )
+        (event,) = doc["traceEvents"]
+        assert event["ph"] == "i"
+        assert event["args"]["metrics"] == {"a": 1}
+
+
+class TestFacade:
+    def test_series_window_defaults_on_enable(self):
+        assert obs.series_window() == 0
+        obs.enable(record=True)
+        assert obs.series_window() == obs.DEFAULT_WINDOW
+        obs.disable()
+        assert obs.series_window() == 0
+
+    def test_explicit_window(self):
+        obs.enable(record=True, window=128)
+        assert obs.series_window() == 128
+
+    def test_flush_metrics_emits_event(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        obs.enable(trace_path=path)
+        obs.counter("c").inc()
+        snapshot = obs.flush_metrics()
+        obs.disable()
+        assert snapshot["c"]["value"] == 1
+        (event,) = read_events(path)
+        assert event["type"] == "metrics"
+        assert event["metrics"]["c"]["value"] == 1

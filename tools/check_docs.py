@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Documentation lint: docstring coverage + markdown link integrity.
+
+Two checks, both cheap enough for every CI run:
+
+1. **Docstring coverage** — every public symbol (module, class,
+   function, method not prefixed with ``_``) in the audited packages
+   (``repro.obs``, ``repro.online``, ``repro.harness``) must carry a
+   docstring.  Audited by importing the modules and walking their
+   members, so only what a user can actually reach is checked.
+2. **Link integrity** — every relative markdown link in ``docs/*.md``
+   and the top-level ``*.md`` files must resolve to an existing file
+   (anchors are stripped; external ``http(s):``/``mailto:`` links are
+   skipped).
+
+Exit status 0 when clean, 1 with one line per violation otherwise.
+Run as ``python tools/check_docs.py`` from the repository root.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pathlib
+import pkgutil
+import re
+import sys
+from typing import List
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Packages whose public surface must be fully docstringed.
+AUDITED_PACKAGES = ("repro.obs", "repro.online", "repro.harness")
+
+#: Markdown files whose relative links must resolve.
+DOC_GLOBS = ("docs/*.md", "*.md")
+
+#: Machine-generated reference material — not linted for links.
+SKIP_FILES = {"PAPERS.md", "SNIPPETS.md", "ISSUE.md"}
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def iter_modules(package_name: str):
+    """The package module plus every submodule, imported."""
+    package = importlib.import_module(package_name)
+    yield package
+    for info in pkgutil.iter_modules(package.__path__):
+        if info.name.startswith("_"):
+            continue
+        yield importlib.import_module(f"{package_name}.{info.name}")
+
+
+def public_members(module) -> List[tuple]:
+    """(qualified name, object) for the module's public surface."""
+    members = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-export; audited where it is defined
+        members.append((f"{module.__name__}.{name}", obj))
+        if inspect.isclass(obj):
+            for attr, value in vars(obj).items():
+                if attr.startswith("_"):
+                    continue
+                if inspect.isfunction(value) or isinstance(
+                    value, (property, classmethod, staticmethod)
+                ):
+                    members.append(
+                        (f"{module.__name__}.{obj.__name__}.{attr}", value)
+                    )
+    return members
+
+
+def check_docstrings() -> List[str]:
+    """Every public symbol of the audited packages has a docstring."""
+    problems = []
+    for package_name in AUDITED_PACKAGES:
+        for module in iter_modules(package_name):
+            if not (module.__doc__ or "").strip():
+                problems.append(f"{module.__name__}: module missing docstring")
+            for qualname, obj in public_members(module):
+                target = obj
+                if isinstance(obj, (classmethod, staticmethod)):
+                    target = obj.__func__
+                elif isinstance(obj, property):
+                    target = obj.fget
+                doc = getattr(target, "__doc__", None)
+                if not (doc or "").strip():
+                    problems.append(f"{qualname}: missing docstring")
+    return problems
+
+
+def check_links() -> List[str]:
+    """Every relative markdown link points at an existing file."""
+    problems = []
+    seen = set()
+    for pattern in DOC_GLOBS:
+        for path in sorted(ROOT.glob(pattern)):
+            if path in seen or path.name in SKIP_FILES:
+                continue
+            seen.add(path)
+            text = path.read_text()
+            for target in _LINK.findall(text):
+                if re.match(r"^[a-z][a-z0-9+.-]*:", target):
+                    continue  # http:, https:, mailto:, ...
+                if target.startswith("#"):
+                    continue  # intra-document anchor
+                relative = target.split("#", 1)[0]
+                if not relative:
+                    continue
+                resolved = (path.parent / relative).resolve()
+                if not resolved.exists():
+                    problems.append(
+                        f"{path.relative_to(ROOT)}: broken link -> {target}"
+                    )
+    return problems
+
+
+def main() -> int:
+    """Run both checks; print violations; return a process exit code."""
+    sys.path.insert(0, str(ROOT / "src"))
+    problems = check_docstrings() + check_links()
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"\n{len(problems)} documentation problem(s)")
+        return 1
+    print("docs check: OK (docstrings + links)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
