@@ -1,0 +1,59 @@
+"""repro.check -- "Spike lint": static verification of layout artifacts.
+
+A binary rewriter is only trustworthy if its output provably preserves
+the program (the guarantee BOLT and Codestitcher build their rewriting
+machinery around).  This package provides that assurance layer for the
+reproduction: a diagnostics engine with stable codes
+(:mod:`~repro.check.diagnostics`), layout-integrity checks
+(:mod:`~repro.check.layout_checks`), profile flow-conservation checks
+(:mod:`~repro.check.profile_checks`), layout-quality lints
+(:mod:`~repro.check.quality_checks`), deprecated-API scanning
+(:mod:`~repro.check.deprecations`), and the cheap post-pass assertions
+used inside the layout pipeline (:mod:`~repro.check.structural`).
+
+See ``docs/CHECKS.md`` for the full diagnostic catalogue and
+``repro lint --help`` for the CLI front end.
+"""
+
+from repro.check.api import (
+    check_all,
+    check_layout,
+    check_profile,
+    check_quality,
+    verify_layout,
+)
+from repro.check.deprecations import DEPRECATED_APIS, scan_deprecated_calls
+from repro.check.diagnostics import (
+    CODES,
+    CheckContext,
+    CheckReport,
+    CheckRunner,
+    Diagnostic,
+    Severity,
+)
+from repro.check.profile_checks import check_flow_graph
+from repro.check.structural import (
+    verify_chaining,
+    verify_split_units,
+    verify_unit_permutation,
+)
+
+__all__ = [
+    "CODES",
+    "CheckContext",
+    "CheckReport",
+    "CheckRunner",
+    "DEPRECATED_APIS",
+    "Diagnostic",
+    "Severity",
+    "check_all",
+    "check_flow_graph",
+    "check_layout",
+    "check_profile",
+    "check_quality",
+    "scan_deprecated_calls",
+    "verify_chaining",
+    "verify_layout",
+    "verify_split_units",
+    "verify_unit_permutation",
+]

@@ -1,0 +1,76 @@
+"""Deprecated-API call-site scanning (the ``DEP*`` family).
+
+The runtime deprecation shims in :mod:`repro.harness.experiment` warn
+once per process, which keeps sweeps quiet but also means stale callers
+hide until someone happens to trip the first warning.  This scanner
+finds every call site *statically* -- an AST walk over the repository's
+Python sources -- and reports each one as a ``DEP001`` info diagnostic,
+so ``repro lint`` shows the full migration backlog at once.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List
+
+from repro.check.diagnostics import Diagnostic, Severity
+
+#: Deprecated attribute/method names -> the replacement to suggest.
+#: Kept in sync with the runtime ``Experiment._deprecated`` shims (a
+#: test cross-references the two).
+DEPRECATED_APIS: Dict[str, str] = {
+    "app_streams": 'streams(combo, scope="app")',
+    "kernel_streams": 'streams(scope="kernel", kernel_combo=...)',
+    "combined_streams": 'streams(combo, scope="combined")',
+    "per_process_streams": 'streams(combo, scope="per-process")',
+}
+
+
+def _scan_source(text: str, path: str) -> Iterator[Diagnostic]:
+    try:
+        tree = ast.parse(text, filename=path)
+    except SyntaxError as exc:
+        yield Diagnostic(
+            "DEP001", Severity.INFO,
+            f"could not parse {path}: {exc.msg}",
+            target=path,
+        )
+        return
+    for node in ast.walk(tree):
+        # Deprecated APIs are methods, so every interesting site is an
+        # attribute access (bare-name definitions inside experiment.py
+        # itself are the shims, not callers).
+        if isinstance(node, ast.Attribute) and node.attr in DEPRECATED_APIS:
+            yield Diagnostic(
+                "DEP001", Severity.INFO,
+                f"call site uses deprecated API {node.attr!r}",
+                target=path, location=f"line {node.lineno}",
+                hint=f"use {DEPRECATED_APIS[node.attr]} instead",
+            )
+
+
+def scan_deprecated_calls(
+    roots: Iterable[str], skip_definitions: bool = True
+) -> List[Diagnostic]:
+    """Scan Python files under ``roots`` for deprecated call sites.
+
+    Args:
+        roots: Files or directories to walk (``.py`` files only).
+        skip_definitions: Leave out the module that *defines* the shims
+            (``harness/experiment.py``) so the report lists only real
+            callers.
+    """
+    diagnostics: List[Diagnostic] = []
+    for root in roots:
+        base = Path(root)
+        files = sorted(base.rglob("*.py")) if base.is_dir() else [base]
+        for path in files:
+            if skip_definitions and path.name == "experiment.py" and path.parent.name == "harness":
+                continue
+            try:
+                text = path.read_text()
+            except OSError:
+                continue
+            diagnostics.extend(_scan_source(text, str(path)))
+    return diagnostics

@@ -1,0 +1,271 @@
+"""Profile / CFG consistency analyses (the ``PRF*`` family).
+
+A measured :class:`~repro.profiles.Profile` must obey Kirchhoff-style
+flow conservation against the binary's control-flow structure: control
+enters a block exactly as often as it executes, and leaves it exactly
+as often as it executes, up to the well-understood boundary cases
+(stream heads enter procedure entries unannounced; RETURN blocks leave
+through the return machinery, not a measured edge).  These passes were
+calibrated against exact Pixie profiles of both the app and kernel
+program images -- a clean profile produces zero findings.
+
+Slack: estimated profiles (DCPI sampling, LBR bursts) are allowed a
+small absolute + relative imbalance before a finding fires.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Dict, Iterator, List, Set
+
+from repro.check.diagnostics import CheckContext, Diagnostic, Severity
+from repro.ir.instruction import Terminator
+
+#: Absolute / relative imbalance tolerated before PRF001 fires.
+FLOW_SLACK_ABS = 8
+FLOW_SLACK_REL = 0.01
+
+
+def _slack(count: float) -> float:
+    return max(FLOW_SLACK_ABS, FLOW_SLACK_REL * count)
+
+
+def _legal_return_targets(binary) -> Set[int]:
+    """Where a RETURN may measurably transfer to: any call-site
+    continuation, or any procedure entry (top-level dispatch returns
+    into the next operation's handler)."""
+    targets: Set[int] = {
+        binary.entry_bid(name) for name in binary.proc_order()
+    }
+    for block in binary.blocks():
+        if block.terminator is Terminator.CALL:
+            targets.add(block.succs[0])
+    return targets
+
+
+def _is_legal_transition(binary, block, dst: int, return_targets: Set[int]) -> bool:
+    term = block.terminator
+    if term is Terminator.RETURN:
+        return dst in return_targets
+    if term is Terminator.CALL:
+        return dst == binary.entry_bid(block.call_target) or dst == block.succs[0]
+    return dst in block.succs
+
+
+def check_transitions(ctx: CheckContext) -> Iterator[Diagnostic]:
+    """PRF002/PRF003: every measured transition is legal for its source
+    block's terminator and never outnumbers the block's executions."""
+    binary, profile = ctx.binary, ctx.profile
+    if binary is None or profile is None:
+        return
+    return_targets = _legal_return_targets(binary)
+    outgoing: Dict[int, int] = defaultdict(int)
+    incoming: Dict[int, int] = defaultdict(int)
+    illegal = 0
+    for (src, dst), count in sorted(profile.edge_counts.items()):
+        if count <= 0:
+            continue
+        outgoing[src] += count
+        incoming[dst] += count
+        block = binary.block(src)
+        if not _is_legal_transition(binary, block, dst, return_targets):
+            illegal += 1
+            if illegal > 16:
+                continue
+            yield Diagnostic(
+                "PRF003", Severity.ERROR,
+                f"{count}x transition {block.proc_name}.{block.label} "
+                f"(id {src}, {block.terminator.value}) -> block {dst} is not "
+                f"an edge of the control-flow graph",
+                target=ctx.target, location=f"edge {src}->{dst}",
+                hint="the profile was measured on a different binary, or is corrupt",
+            )
+    if illegal > 16:
+        yield Diagnostic(
+            "PRF003", Severity.ERROR,
+            f"...and {illegal - 16} further illegal transitions",
+            target=ctx.target,
+        )
+
+    for bid, total in sorted(outgoing.items()):
+        count = profile.count(bid)
+        if total > count + _slack(count):
+            block = binary.block(bid)
+            yield Diagnostic(
+                "PRF002", Severity.ERROR,
+                f"block {block.proc_name}.{block.label} (id {bid}) executed "
+                f"{count} times but {total} outgoing transitions were measured",
+                target=ctx.target, location=f"block {bid}",
+                hint="control cannot leave a block more often than it runs",
+            )
+    for bid, total in sorted(incoming.items()):
+        count = profile.count(bid)
+        if total > count + _slack(count):
+            block = binary.block(bid)
+            yield Diagnostic(
+                "PRF002", Severity.ERROR,
+                f"block {block.proc_name}.{block.label} (id {bid}) executed "
+                f"{count} times but {total} incoming transitions were measured",
+                target=ctx.target, location=f"block {bid}",
+            )
+
+
+def check_flow_conservation(ctx: CheckContext) -> Iterator[Diagnostic]:
+    """PRF001: inflow and outflow balance each block's execution count.
+
+    Deficits are legal only at the measurement boundary: outflow may
+    fall short at RETURN blocks (control leaves through the return,
+    which the stream attributes to the *next* operation) and inflow may
+    fall short at procedure entries (stream heads and call transfers).
+    Everywhere else, ``inflow == count == outflow`` within slack.
+    """
+    binary, profile = ctx.binary, ctx.profile
+    if binary is None or profile is None:
+        return
+    if not profile.edge_counts:
+        return  # block-count-only profile: nothing to conserve against
+    outgoing: Dict[int, int] = defaultdict(int)
+    incoming: Dict[int, int] = defaultdict(int)
+    for (src, dst), count in profile.edge_counts.items():
+        if count > 0:
+            outgoing[src] += count
+            incoming[dst] += count
+    entries = {binary.entry_bid(name) for name in binary.proc_order()}
+
+    emitted = 0
+    for block in binary.blocks():
+        bid = block.bid
+        count = profile.count(bid)
+        if count <= 0:
+            continue
+        slack = _slack(count)
+        deficits = []
+        if (count - outgoing[bid] > slack
+                and block.terminator is not Terminator.RETURN):
+            deficits.append(f"outflow {outgoing[bid]}")
+        if count - incoming[bid] > slack and bid not in entries:
+            deficits.append(f"inflow {incoming[bid]}")
+        for deficit in deficits:
+            emitted += 1
+            if emitted > 16:
+                yield Diagnostic(
+                    "PRF001", Severity.ERROR,
+                    "...further flow-conservation violations suppressed",
+                    target=ctx.target,
+                )
+                return
+            yield Diagnostic(
+                "PRF001", Severity.ERROR,
+                f"block {block.proc_name}.{block.label} (id {bid}) executed "
+                f"{count} times but measured {deficit}",
+                target=ctx.target, location=f"block {bid}",
+                hint="transitions are missing from the profile (truncated or corrupt)",
+            )
+
+
+def check_call_graph(ctx: CheckContext) -> Iterator[Diagnostic]:
+    """PRF004: call sites of a procedure do not outnumber its
+    invocations (warn -- entries may also run via top-level dispatch,
+    so an *excess* of entry executions is fine)."""
+    binary, profile = ctx.binary, ctx.profile
+    if binary is None or profile is None:
+        return
+    call_totals: Dict[str, int] = defaultdict(int)
+    for block in binary.blocks():
+        if block.terminator is Terminator.CALL:
+            call_totals[block.call_target] += profile.count(block.bid)
+    for callee, calls in sorted(call_totals.items()):
+        invocations = profile.count(binary.entry_bid(callee))
+        if calls > invocations + _slack(invocations):
+            yield Diagnostic(
+                "PRF004", Severity.WARN,
+                f"procedure {callee!r} entered {invocations} times but its "
+                f"call sites executed {calls} times",
+                target=ctx.target, location=f"procedure {callee}",
+                hint="call-site counts and callee invocations disagree",
+            )
+
+
+def _reachable_from_entry(binary, proc) -> Set[int]:
+    entry = proc.blocks[0].bid
+    seen = {entry}
+    work = deque([entry])
+    owned = {b.bid for b in proc.blocks}
+    while work:
+        bid = work.popleft()
+        for dst in binary.block(bid).succs:
+            if dst in owned and dst not in seen:
+                seen.add(dst)
+                work.append(dst)
+    return seen
+
+
+def check_reachability(ctx: CheckContext) -> Iterator[Diagnostic]:
+    """PRF005/PRF006: blocks unreachable from their procedure's entry.
+
+    An *executed* unreachable block (PRF005, warn) means the CFG is
+    missing edges the program actually took; a never-executed one
+    (PRF006, info) is structurally dead code inflating the image.
+    """
+    binary = ctx.binary
+    if binary is None:
+        return
+    profile = ctx.profile
+    dead = 0
+    for name in binary.proc_order():
+        proc = binary.proc(name)
+        reachable = _reachable_from_entry(binary, proc)
+        for block in proc.blocks:
+            if block.bid in reachable:
+                continue
+            count = profile.count(block.bid) if profile is not None else 0
+            if count > 0:
+                yield Diagnostic(
+                    "PRF005", Severity.WARN,
+                    f"block {name}.{block.label} (id {block.bid}) executed "
+                    f"{count} times but is unreachable from the entry of {name!r}",
+                    target=ctx.target, location=f"block {block.bid}",
+                    hint="the CFG is missing an edge the program took",
+                )
+            else:
+                dead += 1
+                if dead <= 8:
+                    yield Diagnostic(
+                        "PRF006", Severity.INFO,
+                        f"block {name}.{block.label} (id {block.bid}) is "
+                        f"unreachable and never executed (dead code)",
+                        target=ctx.target, location=f"block {block.bid}",
+                    )
+    if dead > 8:
+        yield Diagnostic(
+            "PRF006", Severity.INFO,
+            f"...and {dead - 8} further dead blocks",
+            target=ctx.target,
+        )
+
+
+def check_flow_graph(graph, block_counts, target: str = "") -> List[Diagnostic]:
+    """Conservation check for an estimated :class:`~repro.ir.FlowGraph`.
+
+    An estimator must never put more outflow on a block's edges than
+    the block itself executed (the latent defect in the pre-fix
+    ``flow_graph_from_block_counts``: per-edge ``min(src, dst)`` weights
+    summed over multiple successors could exceed the source count).
+    """
+    outgoing: Dict[int, float] = defaultdict(float)
+    for edge in graph.edges():
+        outgoing[edge.src] += edge.weight
+    diagnostics: List[Diagnostic] = []
+    for block in graph.proc.blocks:
+        count = float(block_counts[block.bid])
+        total = outgoing[block.bid]
+        if total > count + _slack(count):
+            diagnostics.append(Diagnostic(
+                "PRF002", Severity.ERROR,
+                f"estimated flow graph of {graph.proc.name!r}: block "
+                f"{block.label} (id {block.bid}) executed {count:.0f} times "
+                f"but carries {total:.0f} units of outgoing edge weight",
+                target=target, location=f"block {block.bid}",
+                hint="rescale estimated edge weights to the source block count",
+            ))
+    return diagnostics

@@ -235,6 +235,43 @@ def _build_parser() -> argparse.ArgumentParser:
         "--out", default=None, metavar="PATH",
         help="output path (default <trace_file>.chrome.json)",
     )
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the repro.check static analyses (Spike lint)",
+        description="Verify layout integrity, profile flow conservation, "
+        "and layout-quality lints over the generated binaries -- or over "
+        "saved layout/profile artifacts.",
+    )
+    lint.add_argument(
+        "--combo", action="append", default=None, metavar="NAME",
+        help="optimization combination(s) to lint (repeatable; default all)",
+    )
+    lint.add_argument(
+        "--layout", action="append", default=None, metavar="FILE",
+        help="lint a saved layout JSON against the app binary instead of "
+        "building layouts (repeatable)",
+    )
+    lint.add_argument(
+        "--profile", action="append", default=None, metavar="FILE",
+        help="lint a saved profile .npz against the app binary (repeatable)",
+    )
+    lint.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    lint.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero when any error-severity finding is reported",
+    )
+    lint.add_argument(
+        "--no-deprecations", action="store_true",
+        help="skip the deprecated-API call-site scan",
+    )
+    lint.add_argument(
+        "--scan", action="append", default=None, metavar="PATH",
+        help="roots for the deprecated-API scan "
+        "(repeatable; default src, benchmarks, tools)",
+    )
     return parser
 
 
@@ -467,6 +504,74 @@ def _cmd_bench_diff(args, out) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_lint(args, out) -> int:
+    import json as _json
+
+    from repro.check import (
+        CheckReport,
+        check_all,
+        check_layout,
+        check_profile,
+        scan_deprecated_calls,
+    )
+    from repro.harness.store import load_layout, load_profile
+    from repro.ir import assign_addresses
+    from repro.layout import ALL_COMBOS
+
+    exp = _experiment(args)
+    report = CheckReport()
+
+    if args.layout or args.profile:
+        # Artifact mode: lint saved files against the app binary.
+        binary = exp.app.binary
+        for path in args.layout or ():
+            # No binary validation on load: lint must *report* a corrupt
+            # layout, not crash on it.
+            layout = load_layout(path)
+            structure = check_layout(binary, layout, target=path)
+            report.extend(structure)
+            if structure.ok:
+                amap = assign_addresses(binary, layout)
+                report.extend(
+                    check_layout(binary, layout, amap, target=path)
+                )
+        for path in args.profile or ():
+            profile = load_profile(binary, path)
+            report.extend(check_profile(binary, profile, target=path))
+    else:
+        combos = args.combo or list(ALL_COMBOS)
+        for label, binary, profile, optimizer in (
+            ("app", exp.app.binary, exp.profile, exp.optimizer),
+            ("kernel", exp.kernel.binary, exp.kernel_profile, exp.kernel_optimizer),
+        ):
+            report.extend(check_profile(binary, profile, target=f"profile:{label}"))
+            for combo in combos:
+                layout = optimizer.layout(combo)
+                amap = assign_addresses(binary, layout)
+                report.extend(
+                    check_all(
+                        binary, profile, layout, amap,
+                        target=f"{label}/{combo}",
+                    )
+                )
+
+    if not args.no_deprecations:
+        roots = args.scan or [
+            r for r in ("src", "benchmarks", "tools") if os.path.isdir(r)
+        ]
+        for diagnostic in scan_deprecated_calls(roots):
+            report.add(diagnostic)
+
+    if args.json:
+        out.write(_json.dumps(report.to_json(), indent=2) + "\n")
+    else:
+        out.write(report.render())
+    _emit_runlog(exp, args)
+    if args.strict and not report.ok:
+        return 1
+    return 0
+
+
 def _cmd_trace_export(args, out) -> int:
     from repro.obs.chrome import export_chrome_trace
 
@@ -495,6 +600,7 @@ def main(argv=None, out=None) -> int:
         "report": _cmd_report,
         "bench-diff": _cmd_bench_diff,
         "trace-export": _cmd_trace_export,
+        "lint": _cmd_lint,
     }
     try:
         return handlers[args.command](args, out)

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from dataclasses import asdict, dataclass, field, replace
 from functools import lru_cache
 from typing import Callable, Dict, List, Optional, Tuple
@@ -61,6 +62,11 @@ def reset_deprecation_warnings() -> None:
     """Let the once-per-process deprecation warnings fire again
     (testing hook)."""
     _DEPRECATION_WARNED.clear()
+
+
+def _verify_enabled() -> bool:
+    """True when ``REPRO_VERIFY`` asks for layout integrity checks."""
+    return os.environ.get("REPRO_VERIFY", "") not in ("", "0")
 
 #: Bump when the canonical fingerprint payload changes shape.
 _FINGERPRINT_VERSION = 1
@@ -344,9 +350,15 @@ class Experiment:
 
     @property
     def optimizer(self) -> SpikeOptimizer:
-        """The app Spike optimizer over the profiling run's profile."""
+        """The app Spike optimizer over the profiling run's profile.
+
+        Set ``REPRO_VERIFY=1`` in the environment to run every layout
+        through the ``repro.check`` integrity passes as it is built.
+        """
         if self._optimizer is None:
-            self._optimizer = SpikeOptimizer(self.app.binary, self.profile)
+            self._optimizer = SpikeOptimizer(
+                self.app.binary, self.profile, verify=_verify_enabled()
+            )
         return self._optimizer
 
     @property
@@ -354,7 +366,7 @@ class Experiment:
         """The kernel Spike optimizer over the kernel profile."""
         if self._kernel_optimizer is None:
             self._kernel_optimizer = SpikeOptimizer(
-                self.kernel.binary, self.kernel_profile
+                self.kernel.binary, self.kernel_profile, verify=_verify_enabled()
             )
         return self._kernel_optimizer
 

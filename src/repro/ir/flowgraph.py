@@ -66,16 +66,25 @@ def flow_graph_from_block_counts(
 
     This mirrors the paper's Pixie-based setup: "the control flow edge
     weights are estimated from the basic block counts".  Each edge
-    ``s -> d`` gets weight ``count(d) * count(s) / sum(count(preds of d))``
-    apportioned by predecessor hotness; a simpler and adequate
-    estimator used here is ``min(count(s), count(d))``.
+    ``s -> d`` starts from the raw estimate ``min(count(s), count(d))``;
+    a block's outgoing estimates are then rescaled to sum to
+    ``count(s)``, since control leaves a block exactly once per
+    execution.  Without the rescale a two-successor block whose arms
+    are both hot would carry up to ``2 * count(s)`` units of outflow,
+    violating flow conservation and overweighting branchy blocks in
+    the chaining pass (``repro.check`` PRF002 catches this).
     """
     graph = FlowGraph(proc)
     for block in proc.blocks:
-        for dst in block.succs:
-            src_count = float(block_counts[block.bid])
-            dst_count = float(block_counts[dst])
-            graph.set_weight(block.bid, dst, min(src_count, dst_count))
+        src_count = float(block_counts[block.bid])
+        raw = [
+            (dst, min(src_count, float(block_counts[dst])))
+            for dst in block.succs
+        ]
+        total = sum(weight for _dst, weight in raw)
+        scale = src_count / total if total > src_count > 0 else 1.0
+        for dst, weight in raw:
+            graph.set_weight(block.bid, dst, weight * scale)
     return graph
 
 

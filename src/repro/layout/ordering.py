@@ -61,6 +61,7 @@ def order_units(
     graph: UnitCallGraph,
     block_counts,
     max_displacement: int = DEFAULT_MAX_DISPLACEMENT,
+    verify: bool = False,
 ) -> OrderingResult:
     """Order code units by Pettis--Hansen call-graph coalescing.
 
@@ -73,6 +74,8 @@ def order_units(
         max_displacement: Merges that would grow a cluster beyond this
             many bytes are refused, keeping intra-cluster branches
             within reach.
+        verify: Assert the permutation contract on the result
+            (:func:`repro.check.verify_unit_permutation`).
     """
     names = [u.name for u in units]
     original_index = {name: i for i, name in enumerate(names)}
@@ -153,11 +156,16 @@ def order_units(
     obs.counter("layout.order.calls").inc()
     obs.counter("layout.order.merges").inc(merges)
     obs.counter("layout.order.displacement_refusals").inc(refusals)
-    return OrderingResult(
+    result = OrderingResult(
         units=[unit_by_name[n] for n in ordered_names],
         displacement_refusals=refusals,
         merges=merges,
     )
+    if verify:
+        from repro.check.structural import verify_unit_permutation
+
+        verify_unit_permutation(units, result.units)
+    return result
 
 
 def _best_orientation(

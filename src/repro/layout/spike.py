@@ -51,11 +51,17 @@ class SpikeOptimizer:
         proc_alignment: int = 16,
         segment_alignment: int = 4,
         max_displacement: int = DEFAULT_MAX_DISPLACEMENT,
+        verify: bool = False,
     ) -> None:
         """Whole-procedure layouts keep the compiler's entry alignment
         (``proc_alignment``); split-segment layouts pack code units
         densely (``segment_alignment``) to maximize line utilization,
-        as Spike does once segments become independent units."""
+        as Spike does once segments become independent units.
+
+        With ``verify=True``, every pass asserts its structural
+        contract (``repro.check.structural``) and each finished layout
+        must pass the full integrity check
+        (:func:`repro.check.verify_layout`) before it is returned."""
         if profile.binary is not binary:
             raise LayoutError("profile does not belong to this binary")
         self.binary = binary
@@ -63,6 +69,7 @@ class SpikeOptimizer:
         self.proc_alignment = proc_alignment
         self.segment_alignment = segment_alignment
         self.max_displacement = max_displacement
+        self.verify = verify
         self._chain_cache: Optional[Dict[str, ChainingResult]] = None
         self.last_ordering: Optional[OrderingResult] = None
 
@@ -92,7 +99,10 @@ class SpikeOptimizer:
         for name in self.binary.proc_order():
             if name not in cache:
                 cache[name] = chain_blocks(
-                    self.binary.proc(name), self.flow_graph(name), counts
+                    self.binary.proc(name),
+                    self.flow_graph(name),
+                    counts,
+                    verify=self.verify,
                 )
         return cache
 
@@ -142,9 +152,17 @@ class SpikeOptimizer:
         units: List[CodeUnit] = []
         for name in self.binary.proc_order():
             if chained:
-                units.extend(split_chains(self.binary, self.chainings()[name]))
+                units.extend(
+                    split_chains(
+                        self.binary, self.chainings()[name], verify=self.verify
+                    )
+                )
             else:
-                units.extend(split_procedure_source_order(self.binary, name))
+                units.extend(
+                    split_procedure_source_order(
+                        self.binary, name, verify=self.verify
+                    )
+                )
         return units
 
     def _hotcold_units(self) -> List[CodeUnit]:
@@ -175,6 +193,7 @@ class SpikeOptimizer:
             graph,
             self.profile.block_counts,
             max_displacement=self.max_displacement,
+            verify=self.verify,
         )
         self.last_ordering = result
         return Layout(units=result.units, alignment=self._alignment_for(name), name=name)
@@ -191,7 +210,19 @@ class SpikeOptimizer:
         combo = Combo.parse(combo).value
         obs.counter("layout.builds").inc()
         with obs.span("layout.build", combo=combo):
-            return self._build(combo)
+            layout = self._build(combo)
+        if self.verify:
+            from repro.check import verify_layout
+            from repro.ir.layout import assign_addresses
+
+            with obs.span("layout.verify", combo=combo):
+                verify_layout(
+                    self.binary,
+                    layout,
+                    assign_addresses(self.binary, layout),
+                    target=f"{self.binary.name}/{combo}",
+                )
+        return layout
 
     def _build(self, combo: str) -> Layout:
         if combo == "base":

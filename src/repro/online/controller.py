@@ -137,6 +137,7 @@ class AdaptiveController:
             training,
             previous=self._current.optimizer,
             reference=self.detector.reference,
+            fallback=self._current,
         )
         self.detector.rebase(training)
         self._current = result

@@ -22,6 +22,8 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro import obs
+from repro.check import check_layout
+from repro.errors import LayoutError
 from repro.harness.runlog import CACHE_HIT, CACHE_MISS, CACHE_OFF, RunLog
 from repro.harness.store import ArtifactStore, load_layout, save_layout
 from repro.ir import AddressMap, Binary, Layout, assign_addresses
@@ -55,6 +57,7 @@ class AdaptiveRelayout:
         store: Optional[ArtifactStore] = None,
         runlog: Optional[RunLog] = None,
         coverage: float = 0.9,
+        verify: bool = True,
     ) -> None:
         self.binary = binary
         self.combo = combo
@@ -62,12 +65,17 @@ class AdaptiveRelayout:
         self.runlog = runlog or RunLog()
         #: Fraction of the weight shift the rebuilt set must cover.
         self.coverage = coverage
+        #: Gate every layout through ``repro.check`` before it can be
+        #: swapped in.  On by default: the online loop runs unattended,
+        #: so a corrupt layout must be refused, not simulated.
+        self.verify = verify
 
     def rebuild(
         self,
         profile: Profile,
         previous: Optional[SpikeOptimizer] = None,
         reference: Optional[Profile] = None,
+        fallback: Optional[RelayoutResult] = None,
     ) -> RelayoutResult:
         """Build the ``combo`` layout for ``profile``.
 
@@ -76,11 +84,22 @@ class AdaptiveRelayout:
         only the procedures responsible for the drift between
         ``reference`` and ``profile`` are re-chained; the rest reuse
         the previous chains.  Without them, everything is rebuilt.
+
+        When :attr:`verify` is on, the finished layout must pass the
+        ``repro.check`` integrity gate before it is returned.  A cached
+        layout that fails degrades to a rebuild; a freshly built one
+        that fails bumps the ``online.relayout.rejected`` counter and
+        returns ``fallback`` (the result backing the currently running
+        layout) -- or raises :class:`~repro.errors.LayoutError` when no
+        fallback exists.
         """
         fingerprint = profile.fingerprint()
         name = f"online-layout-{self.combo}.json"
         with self.runlog.stage("relayout", f"{self.combo}@{fingerprint[:8]}") as record:
             cached = self._load(fingerprint, name)
+            if cached is not None and not self._gate_ok(cached):
+                obs.counter("online.relayout.rejected_cache").inc()
+                cached = None  # corrupt cache entry: rebuild from scratch
             if cached is not None:
                 record.cache = CACHE_HIT
                 # The optimizer is rebuilt lazily: a cached layout needs
@@ -104,6 +123,17 @@ class AdaptiveRelayout:
                 reused = optimizer.reuse_chainings(previous, drifted)
                 rebuilt = tuple(drifted)
             layout = optimizer.layout(self.combo)
+            gate = self._gate_report(layout) if self.verify else None
+            if gate is not None and not gate.ok:
+                obs.counter("online.relayout.rejected").inc()
+                if fallback is not None:
+                    record.cache = CACHE_OFF
+                    return fallback
+                shown = "\n".join(d.render() for d in gate.errors[:5])
+                raise LayoutError(
+                    f"online relayout {self.combo!r} failed integrity "
+                    f"checks ({len(gate.errors)} error(s)):\n{shown}"
+                )
             record.cache = CACHE_OFF if self.store is None else CACHE_MISS
             record.bytes = self._save(fingerprint, name, layout)
             obs.counter("online.rebuilds").inc()
@@ -117,6 +147,28 @@ class AdaptiveRelayout:
                 cache=record.cache,
             )
 
+    def _gate_ok(self, layout: Layout) -> bool:
+        """True when the layout passes the integrity gate (or the
+        gate is off)."""
+        if not self.verify:
+            return True
+        return self._gate_report(layout).ok
+
+    def _gate_report(self, layout: Layout):
+        """Run the integrity gate.  Structure checks come first on
+        their own: ``assign_addresses`` refuses structurally broken
+        layouts outright, and the gate must *report* corruption, not
+        crash on it."""
+        target = f"online/{self.combo}"
+        with obs.span("online.relayout.verify", combo=self.combo):
+            report = check_layout(self.binary, layout, target=target)
+            if report.ok:
+                report = check_layout(
+                    self.binary, layout,
+                    assign_addresses(self.binary, layout), target=target,
+                )
+        return report
+
     def _load(self, fingerprint: str, name: str) -> Optional[Layout]:
         if self.store is None:
             return None
@@ -124,8 +176,10 @@ class AdaptiveRelayout:
         if not path.is_file():
             return None
         try:
-            return load_layout(path, self.binary)
-        except Exception:  # corrupt cache entries degrade to a rebuild
+            # No eager validation: a corrupt entry must reach the gate
+            # (which counts the rejection), not vanish as a load error.
+            return load_layout(path)
+        except Exception:  # unreadable cache entries degrade to a rebuild
             return None
 
     def _save(self, fingerprint: str, name: str, layout: Layout) -> int:

@@ -1,0 +1,131 @@
+"""Tests for the diagnostics engine and its catalogue integrity."""
+
+import json
+import pathlib
+import re
+
+import pytest
+
+from repro.check import (
+    CODES,
+    CheckContext,
+    CheckReport,
+    CheckRunner,
+    DEPRECATED_APIS,
+    Diagnostic,
+    Severity,
+)
+
+DOCS = pathlib.Path(__file__).resolve().parent.parent / "docs" / "CHECKS.md"
+
+
+def diag(code="LAY001", severity=Severity.ERROR, message="m", **kw):
+    return Diagnostic(code, severity, message, **kw)
+
+
+class TestDiagnostic:
+    def test_unregistered_code_rejected(self):
+        with pytest.raises(ValueError):
+            Diagnostic("LAY999", Severity.ERROR, "nope")
+
+    def test_render_carries_code_severity_and_hint(self):
+        d = diag(target="app/all", location="unit f.seg1", hint="fix it")
+        text = d.render()
+        assert "LAY001" in text
+        assert "error" in text
+        assert "[app/all]" in text
+        assert "unit f.seg1" in text
+        assert "hint: fix it" in text
+
+    def test_render_without_optionals_is_one_line(self):
+        assert "\n" not in diag().render()
+
+    def test_to_dict_round_trips_through_json(self):
+        d = diag(code="PRF001", severity=Severity.WARN)
+        doc = json.loads(json.dumps(d.to_dict()))
+        assert doc["code"] == "PRF001"
+        assert doc["severity"] == "warn"
+
+    def test_severity_str(self):
+        assert str(Severity.ERROR) == "error"
+
+
+class TestCheckReport:
+    def test_severity_buckets_and_ok(self):
+        report = CheckReport([
+            diag(severity=Severity.ERROR),
+            diag(code="PRF004", severity=Severity.WARN),
+            diag(code="QLT001", severity=Severity.INFO),
+        ])
+        assert len(report.errors) == 1
+        assert len(report.warnings) == 1
+        assert len(report.infos) == 1
+        assert not report.ok
+        assert CheckReport().ok
+
+    def test_codes_sorted_distinct(self):
+        report = CheckReport([diag(), diag(), diag(code="PRF001")])
+        assert report.codes() == ["LAY001", "PRF001"]
+
+    def test_render_ends_with_tally(self):
+        report = CheckReport([diag()])
+        assert report.render().strip().endswith(
+            "spike lint: 1 error(s), 0 warning(s), 0 info(s)"
+        )
+
+    def test_extend_folds_reports(self):
+        a = CheckReport([diag()])
+        a.extend(CheckReport([diag(code="PRF001")]))
+        assert len(a.diagnostics) == 2
+
+    def test_to_json_shape(self):
+        doc = CheckReport([diag()]).to_json()
+        assert doc["errors"] == 1
+        assert doc["codes"] == ["LAY001"]
+        assert doc["diagnostics"][0]["code"] == "LAY001"
+
+
+class TestCheckRunner:
+    def test_runs_passes_in_order_and_collects(self):
+        order = []
+
+        def pass_a(ctx):
+            order.append("a")
+            yield diag()
+
+        def pass_b(ctx):
+            order.append("b")
+            return []
+
+        runner = CheckRunner().add("a", pass_a).add("b", pass_b)
+        report = runner.run(CheckContext(target="t"))
+        assert order == ["a", "b"]
+        assert report.codes() == ["LAY001"]
+
+    def test_counters_incremented(self):
+        from repro import obs
+
+        before = obs.counter("check.runs").value
+        CheckRunner().run(CheckContext())
+        assert obs.counter("check.runs").value == before + 1
+
+
+class TestCatalogueIntegrity:
+    def test_every_code_documented_in_checks_md(self):
+        text = DOCS.read_text()
+        missing = [code for code in CODES if f"`{code}`" not in text]
+        assert not missing, f"codes not documented in docs/CHECKS.md: {missing}"
+
+    def test_no_undocumented_codes_in_checks_md(self):
+        text = DOCS.read_text()
+        documented = set(re.findall(r"`((?:LAY|PRF|QLT|DEP)\d{3})`", text))
+        unknown = documented - set(CODES)
+        assert not unknown, f"docs/CHECKS.md documents unregistered codes: {unknown}"
+
+    def test_deprecated_registry_matches_experiment_shims(self):
+        from repro.harness.experiment import Experiment
+
+        for name in DEPRECATED_APIS:
+            assert hasattr(Experiment, name), (
+                f"DEPRECATED_APIS lists {name!r} but Experiment has no such shim"
+            )

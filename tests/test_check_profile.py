@@ -1,0 +1,178 @@
+"""Mutation tests for the PRF* profile/CFG-consistency analyses, plus
+the flow-graph estimator regression the checker was built to catch."""
+
+from collections import defaultdict
+
+import numpy as np
+import pytest
+
+from repro.check import check_flow_graph, check_profile
+from repro.ir import Binary, FlowGraph, Procedure, Terminator
+from repro.ir.flowgraph import flow_graph_from_block_counts
+from repro.profiles import PixieProfiler, Profile
+from repro.progen import AppCodeConfig, build_app_program
+
+
+@pytest.fixture(scope="module")
+def program():
+    return build_app_program(
+        AppCodeConfig(scale=0.5, filler_routines=10, filler_instructions=2_000)
+    )
+
+
+@pytest.fixture(scope="module")
+def profile(program):
+    from repro.db.instrument import CallEvent
+    from repro.execution import CfgWalker
+    from repro.osmodel import KernelCodeConfig, build_kernel_program
+
+    kernel = build_kernel_program(
+        KernelCodeConfig(scale=0.5, filler_routines=2, filler_instructions=500)
+    )
+    walker = CfgWalker(program, kernel)
+    out = []
+    for salt in range(200):
+        walker.walk_event(CallEvent("txn_begin", {"salt": salt}), out)
+    blocks = np.asarray(out, dtype=np.int64)
+    profiler = PixieProfiler(program.binary)
+    profiler.add_stream(blocks[blocks < walker.kernel_offset])
+    return profiler.profile()
+
+
+def clone(profile):
+    fresh = Profile(profile.binary)
+    fresh.block_counts = profile.block_counts.copy()
+    fresh.edge_counts = defaultdict(int, profile.edge_counts)
+    return fresh
+
+
+def codes_of(program, profile):
+    return check_profile(program.binary, profile).codes()
+
+
+class TestProfileMutations:
+    def test_clean_profile_has_no_errors_or_warnings(self, program, profile):
+        report = check_profile(program.binary, profile)
+        assert not report.errors, report.render()
+        assert not report.warnings, report.render()
+
+    def test_prf001_missing_inflow(self, program, profile):
+        binary = program.binary
+        bad = clone(profile)
+        entries = {binary.entry_bid(name) for name in binary.proc_order()}
+        victim = max(
+            (bid for bid in range(binary.num_blocks) if bid not in entries),
+            key=bad.count,
+        )
+        assert bad.count(victim) > 100  # hot enough to beat the slack
+        for (src, dst) in list(bad.edge_counts):
+            if dst == victim:
+                del bad.edge_counts[(src, dst)]
+        assert "PRF001" in codes_of(program, bad)
+
+    def test_prf002_inflated_edge(self, program, profile):
+        bad = clone(profile)
+        edge = max(bad.edge_counts, key=bad.edge_counts.get)
+        bad.edge_counts[edge] = bad.edge_counts[edge] * 10 + 10_000
+        assert "PRF002" in codes_of(program, bad)
+
+    def test_prf003_illegal_transition(self, program, profile):
+        binary = program.binary
+        bad = clone(profile)
+        src = next(
+            b for b in binary.blocks()
+            if b.terminator is Terminator.COND_BRANCH and bad.count(b.bid) > 0
+        )
+        dst = next(
+            bid for bid in range(binary.num_blocks) if bid not in src.succs
+        )
+        bad.edge_counts[(src.bid, dst)] += 5
+        assert "PRF003" in codes_of(program, bad)
+
+    def test_prf004_callsites_outnumber_entries(self, program, profile):
+        binary = program.binary
+        bad = clone(profile)
+        caller = max(
+            (b for b in binary.blocks() if b.terminator is Terminator.CALL),
+            key=lambda b: bad.count(b.bid),
+        )
+        assert bad.count(caller.bid) > 100
+        bad.block_counts[binary.entry_bid(caller.call_target)] = 0
+        assert "PRF004" in codes_of(program, bad)
+
+
+class TestReachability:
+    @pytest.fixture()
+    def orphan_binary(self):
+        proc = Procedure("p")
+        proc.add_block("entry", 4, Terminator.UNCOND_BRANCH, succs=("exit",))
+        proc.add_block("orphan", 4, Terminator.UNCOND_BRANCH, succs=("exit",))
+        proc.add_block("exit", 2, Terminator.RETURN)
+        binary = Binary()
+        binary.add_procedure(proc)
+        binary.seal()
+        return binary, proc.blocks[1].bid
+
+    def test_prf006_dead_unreachable_block(self, orphan_binary):
+        binary, orphan = orphan_binary
+        report = check_profile(binary, Profile(binary))
+        assert "PRF006" in report.codes()
+        assert not report.errors and not report.warnings
+
+    def test_prf005_executed_unreachable_block(self, orphan_binary):
+        binary, orphan = orphan_binary
+        profile = Profile(binary)
+        profile.block_counts[orphan] = 50
+        report = check_profile(binary, profile)
+        assert "PRF005" in report.codes()
+        assert report.warnings and not report.errors
+
+
+class TestFlowGraphEstimator:
+    """Regression for the latent estimator defect: per-edge
+    min(src, dst) weights summed over two hot arms exceeded the
+    source block's own execution count."""
+
+    @pytest.fixture()
+    def diamond(self):
+        proc = Procedure("d")
+        proc.add_block("entry", 4, Terminator.COND_BRANCH, succs=("left", "right"))
+        proc.add_block("left", 4, Terminator.UNCOND_BRANCH, succs=("exit",))
+        proc.add_block("right", 4, Terminator.FALLTHROUGH, succs=("exit",))
+        proc.add_block("exit", 2, Terminator.RETURN)
+        binary = Binary()
+        binary.add_procedure(proc)
+        binary.seal()
+        counts = np.zeros(binary.num_blocks, dtype=np.int64)
+        # Both arms hot: min(entry, arm) sums to 1700 > 1000 executions.
+        for label, n in (("entry", 1000), ("left", 900), ("right", 800),
+                         ("exit", 1000)):
+            counts[proc.block(label).bid] = n
+        return proc, counts
+
+    def test_unscaled_min_estimate_violates_conservation(self, diamond):
+        proc, counts = diamond
+        graph = FlowGraph(proc)
+        for block in proc.blocks:  # the pre-fix estimator, verbatim
+            for dst in block.succs:
+                graph.set_weight(
+                    block.bid, dst,
+                    min(float(counts[block.bid]), float(counts[dst])),
+                )
+        findings = check_flow_graph(graph, counts)
+        assert any(d.code == "PRF002" for d in findings)
+
+    def test_fixed_estimator_conserves_flow(self, diamond):
+        proc, counts = diamond
+        graph = flow_graph_from_block_counts(proc, counts)
+        assert check_flow_graph(graph, counts) == []
+        entry = proc.block("entry")
+        outflow = sum(graph.weight(entry.bid, dst) for dst in entry.succs)
+        assert outflow == pytest.approx(float(counts[entry.bid]))
+
+    def test_fixed_estimator_on_real_binary(self, program, profile):
+        binary = program.binary
+        for name in binary.proc_order():
+            proc = binary.proc(name)
+            graph = flow_graph_from_block_counts(proc, profile.block_counts)
+            assert check_flow_graph(graph, profile.block_counts) == [], name

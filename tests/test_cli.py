@@ -109,3 +109,181 @@ class TestSummaryCommand:
         code, text = run_cli("summary", "--results-dir", str(tmp_path))
         assert code == 0
         assert "==== a.txt" in text and "Table B" in text
+
+
+class TestLint:
+    """The `repro lint` subcommand: clean runs, JSON output, and the
+    --strict gate over corrupted artifacts."""
+
+    @pytest.fixture(scope="class")
+    def artifacts(self, tmp_path_factory):
+        """Corrupted layout/profile files exercising >= 8 distinct
+        error codes, saved next to clean counterparts."""
+        import dataclasses
+
+        from repro.harness.experiment import quick_experiment
+        from repro.harness.store import save_layout, save_profile
+        from repro.ir import SEGMENT_ENDING
+
+        root = tmp_path_factory.mktemp("lint-artifacts")
+        exp = quick_experiment()
+        binary = exp.app.binary
+        layout = exp.optimizer.layout("all")
+        profile = exp.profile
+
+        def variant(filename, mutate):
+            units = list(layout.units)
+            mutate(units)
+            path = root / filename
+            save_layout(dataclasses.replace(layout, units=units), path)
+            return str(path)
+
+        def drop_block(units):
+            victim = next(u for u in units if len(u.block_ids) > 1)
+            units[units.index(victim)] = dataclasses.replace(
+                victim, block_ids=victim.block_ids[1:]
+            )
+
+        def duplicate_block(units):
+            units[0] = dataclasses.replace(
+                units[0], block_ids=units[0].block_ids + (units[0].block_ids[0],)
+            )
+
+        def foreign_block(units):
+            units[0] = dataclasses.replace(
+                units[0], block_ids=units[0].block_ids + (10**6,)
+            )
+
+        def lose_entries(units):
+            units[:] = [dataclasses.replace(u, is_entry=False) for u in units]
+
+        def fuse_segments(units):
+            first = next(
+                i for i in range(len(units) - 1)
+                if binary.block(units[i].block_ids[-1]).terminator
+                in SEGMENT_ENDING
+                and units[i].proc_name == units[i + 1].proc_name
+            )
+            fused = dataclasses.replace(
+                units[first],
+                block_ids=units[first].block_ids + units[first + 1].block_ids,
+                is_entry=units[first].is_entry or units[first + 1].is_entry,
+            )
+            units[first:first + 2] = [fused]
+
+        layouts = [
+            variant("lay-drop.json", drop_block),        # LAY001 + LAY007
+            variant("lay-dup.json", duplicate_block),    # LAY002
+            variant("lay-foreign.json", foreign_block),  # LAY003
+            variant("lay-entry.json", lose_entries),     # LAY004
+            variant("lay-fused.json", fuse_segments),    # LAY009
+        ]
+
+        def profile_variant(filename, mutate):
+            from collections import defaultdict
+
+            from repro.profiles import Profile
+
+            bad = Profile(binary)
+            bad.block_counts = profile.block_counts.copy()
+            bad.edge_counts = defaultdict(int, profile.edge_counts)
+            mutate(bad)
+            path = root / filename
+            save_profile(bad, path)
+            return str(path)
+
+        def missing_inflow(bad):
+            entries = {binary.entry_bid(n) for n in binary.proc_order()}
+            victim = max(
+                (b for b in range(binary.num_blocks) if b not in entries),
+                key=bad.count,
+            )
+            for (src, dst) in list(bad.edge_counts):
+                if dst == victim:
+                    del bad.edge_counts[(src, dst)]
+
+        def inflated_edge(bad):
+            edge = max(bad.edge_counts, key=bad.edge_counts.get)
+            bad.edge_counts[edge] = bad.edge_counts[edge] * 10 + 10_000
+
+        def illegal_edge(bad):
+            from repro.ir import Terminator
+
+            src = next(
+                b for b in binary.blocks()
+                if b.terminator is Terminator.COND_BRANCH and bad.count(b.bid) > 0
+            )
+            dst = next(
+                bid for bid in range(binary.num_blocks) if bid not in src.succs
+            )
+            bad.edge_counts[(src.bid, dst)] += 5
+
+        profiles = [
+            profile_variant("prof-inflow.npz", missing_inflow),    # PRF001
+            profile_variant("prof-inflated.npz", inflated_edge),   # PRF002
+            profile_variant("prof-illegal.npz", illegal_edge),     # PRF003
+        ]
+
+        clean_layout = root / "lay-clean.json"
+        save_layout(layout, clean_layout)
+        clean_profile = root / "prof-clean.npz"
+        save_profile(profile, clean_profile)
+        return {
+            "layouts": layouts,
+            "profiles": profiles,
+            "clean_layout": str(clean_layout),
+            "clean_profile": str(clean_profile),
+        }
+
+    def test_lint_combo_base_clean(self):
+        code, text = run_cli("lint", "--combo", "base")
+        assert code == 0
+        assert "0 error(s)" in text
+
+    def test_lint_json_output(self):
+        import json
+
+        code, text = run_cli(
+            "lint", "--combo", "base", "--json", "--no-deprecations"
+        )
+        assert code == 0
+        doc = json.loads(text)
+        assert doc["errors"] == 0
+
+    def test_strict_passes_on_clean_artifacts(self, artifacts):
+        code, text = run_cli(
+            "lint", "--strict", "--no-deprecations",
+            "--layout", artifacts["clean_layout"],
+            "--profile", artifacts["clean_profile"],
+        )
+        assert code == 0
+        assert "0 error(s)" in text
+
+    def test_strict_fails_with_eight_distinct_codes(self, artifacts):
+        import json
+
+        argv = ["lint", "--strict", "--json", "--no-deprecations"]
+        for path in artifacts["layouts"]:
+            argv += ["--layout", path]
+        for path in artifacts["profiles"]:
+            argv += ["--profile", path]
+        code, text = run_cli(*argv)
+        assert code == 1
+        doc = json.loads(text)
+        error_codes = {
+            d["code"] for d in doc["diagnostics"] if d["severity"] == "error"
+        }
+        expected = {
+            "LAY001", "LAY002", "LAY003", "LAY004", "LAY007", "LAY009",
+            "PRF001", "PRF002", "PRF003",
+        }
+        assert expected <= error_codes
+        assert len(error_codes) >= 8
+
+    def test_lint_reports_deprecated_callers(self, tmp_path):
+        caller = tmp_path / "uses_old_api.py"
+        caller.write_text("def f(exp):\n    return exp.app_streams('all')\n")
+        code, text = run_cli("lint", "--combo", "base", "--scan", str(caller))
+        assert code == 0  # DEP001 is informational
+        assert "DEP001" in text
+        assert "app_streams" in text
