@@ -8,23 +8,27 @@
 * DCPI vs Pixie: how much the sampled profile costs vs exact counts.
 """
 
-import numpy as np
-
 from conftest import save_table
-from repro.cache import CacheGeometry, simulate_lru
+from repro.cache import CacheGeometry
 from repro.execution import CombinedAddressMap
 from repro.harness.figures import Table
 from repro.ir import assign_addresses
 from repro.layout import SpikeOptimizer
 from repro.profiles import DcpiProfiler
+from repro.sim import MemoryHierarchy, simulate
 
 GEOMETRY = CacheGeometry(64 * 1024, 128, 4)
+HIERARCHY = MemoryHierarchy.l1i_only(GEOMETRY)
+
+
+def _misses(streams) -> int:
+    return simulate(list(streams), HIERARCHY).misses
 
 
 def test_ablation_hotcold_and_split(benchmark, exp, results_dir):
     def compute():
         return {
-            combo: simulate_lru(exp.app_streams(combo), GEOMETRY).misses
+            combo: _misses(exp.streams(combo, scope="app"))
             for combo in ("base", "chain", "split", "hotcold", "all")
         }
 
@@ -65,11 +69,11 @@ def test_ablation_cfa_negative_result(benchmark, exp, results_dir):
         for cpu in exp.trace.cpus:
             blocks = cpu.blocks[cpu.blocks < exp.trace.kernel_offset]
             streams.append(amap.expand_spans(blocks))
-        misses = simulate_lru(streams, GEOMETRY).misses
+        misses = _misses(streams)
         return report, misses
 
     report, cfa_misses = benchmark.pedantic(compute, rounds=1, iterations=1)
-    all_misses = simulate_lru(exp.app_streams("all"), GEOMETRY).misses
+    all_misses = _misses(exp.streams("all", scope="app"))
     table = Table(
         title="CFA (software trace cache) at 64KB with 25% reserved",
         columns=["metric", "value"],
@@ -114,11 +118,11 @@ def test_ablation_dcpi_vs_pixie_profile(benchmark, exp, results_dir):
         for cpu in exp.trace.cpus:
             blocks = cpu.blocks[cpu.blocks < exp.trace.kernel_offset]
             streams.append(amap.expand_spans(blocks))
-        return simulate_lru(streams, GEOMETRY).misses
+        return _misses(streams)
 
     dcpi_misses = benchmark.pedantic(compute, rounds=1, iterations=1)
-    pixie_misses = simulate_lru(exp.app_streams("all"), GEOMETRY).misses
-    base_misses = simulate_lru(exp.app_streams("base"), GEOMETRY).misses
+    pixie_misses = _misses(exp.streams("all", scope="app"))
+    base_misses = _misses(exp.streams("base", scope="app"))
     table = Table(
         title="Profile quality: exact (Pixie) vs sampled (DCPI) profiles "
         "driving the full pipeline (64KB/128B/4-way)",

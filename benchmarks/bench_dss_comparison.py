@@ -9,17 +9,19 @@ baseline miss rates and the payoff from layout optimization.
 """
 
 from conftest import save_table
-from repro.cache import CacheGeometry, simulate_lru
+from repro.cache import CacheGeometry
 from repro.harness import dss_experiment
 from repro.harness.figures import Table
+from repro.sim import MemoryHierarchy, simulate
 
 GEOMETRY = CacheGeometry(64 * 1024, 128, 4)
 
 
 def _mpki(exp, combo):
-    misses = simulate_lru(exp.app_streams(combo), GEOMETRY).misses
-    instructions = sum(int(c.sum()) for _, c in exp.app_streams(combo))
-    return misses, 1000.0 * misses / instructions
+    result = simulate(
+        exp.streams(combo, scope="app"), MemoryHierarchy.l1i_only(GEOMETRY)
+    )
+    return result.misses, result.mpki
 
 
 def test_dss_vs_oltp_cache_behavior(benchmark, exp, results_dir):

@@ -7,17 +7,21 @@
 * Joint app+kernel placement (the paper's stated future work).
 """
 
-import numpy as np
-
 from conftest import save_table
-from repro.cache import CacheGeometry, simulate_lru, simulate_stream_buffers
+from repro.cache import CacheGeometry, simulate_stream_buffers
 from repro.execution import CombinedAddressMap
 from repro.harness.figures import Table
 from repro.ir import assign_addresses, build_unit_call_graph
 from repro.layout import choose_kernel_offset, color_layout
 from repro.osmodel import KERNEL_BASE
+from repro.sim import MemoryHierarchy, simulate
 
 GEOMETRY = CacheGeometry(64 * 1024, 128, 4)
+HIERARCHY = MemoryHierarchy.l1i_only(GEOMETRY)
+
+
+def _misses(streams) -> int:
+    return simulate(list(streams), HIERARCHY).misses
 
 
 def test_extension_stream_buffers(benchmark, exp, results_dir):
@@ -26,7 +30,7 @@ def test_extension_stream_buffers(benchmark, exp, results_dir):
         for combo in ("base", "all"):
             raw = 0
             covered = 0
-            for starts, counts in exp.app_streams(combo):
+            for starts, counts in exp.streams(combo, scope="app"):
                 result = simulate_stream_buffers(
                     starts, counts, CacheGeometry(64 * 1024, 64, 2),
                     num_buffers=4, depth=4,
@@ -84,12 +88,12 @@ def test_extension_cache_line_coloring(benchmark, exp, results_dir):
         for cpu in exp.trace.cpus:
             blocks = cpu.blocks[cpu.blocks < exp.trace.kernel_offset]
             streams.append(amap.expand_spans(blocks))
-        return simulate_lru(streams, GEOMETRY).misses, report
+        return _misses(streams), report
 
     coloring_misses, report = benchmark.pedantic(compute, rounds=1, iterations=1)
-    base = simulate_lru(exp.app_streams("base"), GEOMETRY).misses
-    porder = simulate_lru(exp.app_streams("porder"), GEOMETRY).misses
-    full = simulate_lru(exp.app_streams("all"), GEOMETRY).misses
+    base = _misses(exp.streams("base", scope="app"))
+    porder = _misses(exp.streams("porder", scope="app"))
+    full = _misses(exp.streams("all", scope="app"))
     table = Table(
         title="Related-work comparator: cache-line coloring placement "
         "(whole procedures, 64KB/128B)",
@@ -124,13 +128,15 @@ def test_extension_joint_kernel_placement(benchmark, exp, results_dir):
         shifted = CombinedAddressMap(app_map, kernel_map,
                                      kernel_base=KERNEL_BASE + offset)
         streams = [shifted.expand_spans(cpu.blocks) for cpu in exp.trace.cpus]
-        shifted_misses = simulate_lru(streams, GEOMETRY).misses
+        shifted_misses = _misses(streams)
         return offset, report, shifted_misses
 
     offset, report, shifted_misses = benchmark.pedantic(
         compute, rounds=1, iterations=1
     )
-    unshifted = simulate_lru(exp.combined_streams("all", "all"), GEOMETRY).misses
+    unshifted = _misses(
+        exp.streams("all", scope="combined", kernel_combo="all")
+    )
     table = Table(
         title="Future work: joint app+kernel placement (kernel image "
         "offset search, both binaries optimized)",

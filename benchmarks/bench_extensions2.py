@@ -7,17 +7,21 @@
 * Taken-branch rate: the front-end side effect of chaining.
 """
 
-import numpy as np
-
 from conftest import save_table
 from repro.analysis import branch_stats, merge_branch_stats
-from repro.cache import CacheGeometry, simulate_lru, simulate_victim_cache
+from repro.cache import CacheGeometry, simulate_victim_cache
 from repro.execution import CombinedAddressMap
 from repro.harness.figures import Table
 from repro.ir import assign_addresses
 from repro.layout import temporal_order
+from repro.sim import MemoryHierarchy, simulate
 
 GEOMETRY = CacheGeometry(64 * 1024, 128, 4)
+HIERARCHY = MemoryHierarchy.l1i_only(GEOMETRY)
+
+
+def _misses(streams) -> int:
+    return simulate(list(streams), HIERARCHY).misses
 
 
 def test_extension_victim_cache(benchmark, exp, results_dir):
@@ -27,7 +31,7 @@ def test_extension_victim_cache(benchmark, exp, results_dir):
         out = {}
         for combo in ("base", "all"):
             raw = hits = 0
-            for starts, counts in exp.app_streams(combo):
+            for starts, counts in exp.streams(combo, scope="app"):
                 result = simulate_victim_cache(starts, counts, geometry, 16)
                 raw += result.raw_misses
                 hits += result.victim_hits
@@ -74,12 +78,12 @@ def test_extension_temporal_ordering(benchmark, exp, results_dir):
         for cpu in exp.trace.cpus:
             blocks = cpu.blocks[cpu.blocks < exp.trace.kernel_offset]
             span_streams.append(amap.expand_spans(blocks))
-        return simulate_lru(span_streams, GEOMETRY).misses
+        return _misses(span_streams)
 
     temporal_misses = benchmark.pedantic(compute, rounds=1, iterations=1)
-    base = simulate_lru(exp.app_streams("base"), GEOMETRY).misses
-    porder = simulate_lru(exp.app_streams("porder"), GEOMETRY).misses
-    full = simulate_lru(exp.app_streams("all"), GEOMETRY).misses
+    base = _misses(exp.streams("base", scope="app"))
+    porder = _misses(exp.streams("porder", scope="app"))
+    full = _misses(exp.streams("all", scope="app"))
     table = Table(
         title="Related-work comparator: temporal ordering (Gloy et al.) "
         "at whole-procedure granularity (64KB/128B/4-way)",
@@ -105,7 +109,7 @@ def test_extension_taken_branch_rate(benchmark, exp, results_dir):
         out = {}
         for combo in ("base", "chain", "all"):
             stats = merge_branch_stats(
-                branch_stats(s, c) for s, c in exp.app_streams(combo)
+                branch_stats(s, c) for s, c in exp.streams(combo, scope="app")
             )
             out[combo] = stats
         return out

@@ -8,7 +8,8 @@ switch interference -- against the layout optimization's gain.
 """
 
 from conftest import save_table
-from repro.cache import CacheGeometry, simulate_lru
+from repro.cache import CacheGeometry
+from repro.sim import MemoryHierarchy, simulate
 from repro.execution import OltpSystem, SystemConfig
 from repro.harness.figures import Table
 from repro.ir import assign_addresses
@@ -34,7 +35,9 @@ def test_multiprogramming_degree(benchmark, exp, results_dir):
             for combo in ("base", "all"):
                 amap = exp.address_map(combo)
                 streams = [amap.expand_spans(cpu.blocks) for cpu in trace.cpus]
-                misses = simulate_lru(streams, GEOMETRY).misses
+                misses = simulate(
+                    streams, MemoryHierarchy.l1i_only(GEOMETRY)
+                ).misses
                 instructions = sum(int(c.sum()) for _, c in streams)
                 rows.append(
                     [procs, combo, misses,

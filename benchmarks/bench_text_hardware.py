@@ -7,18 +7,10 @@ multiprocessor-vs-uniprocessor speedup comparison and the
 kernel-layout-optimization experiment.
 """
 
-import numpy as np
-
 from conftest import save_table
 from repro.harness.figures import Table
-from repro.cache import (
-    CacheGeometry,
-    simulate_dcache,
-    simulate_itlb,
-    simulate_l1i_misses,
-    simulate_l2,
-    simulate_lru,
-)
+from repro.cache import CacheGeometry
+from repro.sim import MemoryHierarchy, simulate
 from repro.timing import ALPHA_21164, estimate_cycles, relative_execution_time
 
 
@@ -28,24 +20,23 @@ def _reduction(base: float, opt: float) -> float:
 
 def test_text_21164_hardware_counters(benchmark, uni_exp, results_dir):
     def compute():
-        icache = CacheGeometry(8 * 1024, 32, 1)
-        board = CacheGeometry(2 * 1024 * 1024, 64, 1)
+        hierarchy = MemoryHierarchy(
+            l1i=CacheGeometry(8 * 1024, 32, 1),
+            l2=CacheGeometry(2 * 1024 * 1024, 64, 1),
+            dcache=CacheGeometry(8 * 1024, 32, 1),
+            itlb_entries=48,
+        )
+        data = list(zip(uni_exp.trace.data_addresses,
+                        uni_exp.trace.data_positions))
         out = {}
         for combo in ("base", "all"):
-            streams = uni_exp.combined_streams(combo)
-            imisses = simulate_lru(streams, icache).misses
-            itlb = simulate_itlb(streams, entries=48).misses
-            refills = []
-            for cpu_index, (starts, counts) in enumerate(streams):
-                addr, pos = simulate_l1i_misses(starts, counts, icache)
-                data = uni_exp.trace.data_addresses[cpu_index]
-                dpos = uni_exp.trace.data_positions[cpu_index]
-                dres = simulate_dcache(data, icache, dpos)
-                refills.append((
-                    np.concatenate([addr, dres.miss_addresses]),
-                    np.concatenate([pos, dres.miss_positions]),
-                ))
-            out[combo] = (imisses, itlb, simulate_l2(refills, board).misses)
+            result = simulate(
+                uni_exp.streams(combo, scope="combined"),
+                hierarchy,
+                data_streams=data,
+            )
+            out[combo] = (result.l1i_misses, result.itlb.misses,
+                          result.l2.misses)
         return out
 
     results = benchmark.pedantic(compute, rounds=1, iterations=1)
@@ -72,7 +63,8 @@ def test_text_multiprocessor_vs_uniprocessor(benchmark, exp, uni_exp, results_di
                         experiment.trace.data_positions))
         breakdowns = {
             combo: estimate_cycles(
-                experiment.combined_streams(combo), ALPHA_21164, data
+                list(experiment.streams(combo, scope="combined")),
+                ALPHA_21164, data,
             )
             for combo in ("base", "all")
         }
@@ -96,9 +88,15 @@ def test_text_kernel_layout_optimization(benchmark, exp, results_dir):
     """Optimizing the OS layout yields only a small gain (paper: 3.5%)."""
 
     def compute():
-        geometry = CacheGeometry(64 * 1024, 128, 4)
-        base = simulate_lru(exp.combined_streams("all", "base"), geometry).misses
-        opt = simulate_lru(exp.combined_streams("all", "all"), geometry).misses
+        hierarchy = MemoryHierarchy.l1i_only(CacheGeometry(64 * 1024, 128, 4))
+        base = simulate(
+            exp.streams("all", scope="combined", kernel_combo="base"),
+            hierarchy,
+        ).misses
+        opt = simulate(
+            exp.streams("all", scope="combined", kernel_combo="all"),
+            hierarchy,
+        ).misses
         return base, opt
 
     base, opt = benchmark.pedantic(compute, rounds=1, iterations=1)

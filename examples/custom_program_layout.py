@@ -17,7 +17,8 @@ Run:  python examples/custom_program_layout.py
 
 import numpy as np
 
-from repro.cache import CacheGeometry, simulate_lru
+from repro.cache import CacheGeometry
+from repro.sim import MemoryHierarchy, simulate
 from repro.db.instrument import CallEvent
 from repro.execution.interpreter import CfgWalker
 from repro.ir import assign_addresses
@@ -109,7 +110,7 @@ def main() -> None:
         amap = assign_addresses(program.binary, layout)
         starts = amap.addr[blocks]
         counts = amap.n_fetch[blocks].astype(np.int64)
-        misses = simulate_lru([(starts, counts)], cache).misses
+        misses = simulate([(starts, counts)], MemoryHierarchy.l1i_only(cache)).misses
         print(f"{combo:>12} {misses:>8,} {amap.total_bytes:>7,}")
 
 

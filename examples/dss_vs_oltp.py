@@ -11,7 +11,8 @@ why the paper targets OLTP.)
 Run:  python examples/dss_vs_oltp.py
 """
 
-from repro.cache import CacheGeometry, simulate_lru
+from repro.cache import CacheGeometry
+from repro.sim import MemoryHierarchy, simulate
 from repro.harness import Experiment, ExperimentConfig
 from repro.osmodel import KernelCodeConfig
 from repro.progen import AppCodeConfig
@@ -34,7 +35,7 @@ def small_config(workload_factory=None, transactions=40):
 
 def mpki(exp, combo, cache):
     streams = exp.streams(combo, scope="app")
-    misses = simulate_lru(streams, cache).misses
+    misses = simulate(streams, MemoryHierarchy.l1i_only(cache)).misses
     instructions = sum(int(c.sum()) for _, c in streams)
     return 1000.0 * misses / instructions
 

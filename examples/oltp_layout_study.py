@@ -14,7 +14,8 @@ import argparse
 import time
 
 from repro.analysis import merge_sequence_stats, sequence_lengths
-from repro.cache import CacheGeometry, simulate_lru
+from repro.cache import CacheGeometry
+from repro.sim import MemoryHierarchy, simulate
 from repro.harness import default_experiment, quick_experiment
 from repro.layout import PAPER_COMBOS
 from repro.timing import ALPHA_21264, estimate_cycles, relative_execution_time
@@ -47,7 +48,7 @@ def main() -> None:
     breakdowns = {}
     for combo in PAPER_COMBOS:
         streams = exp.streams(combo, scope="app")
-        misses = simulate_lru(streams, cache).misses
+        misses = simulate(streams, MemoryHierarchy.l1i_only(cache)).misses
         if base_misses is None:
             base_misses = misses
         stats = merge_sequence_stats(

@@ -11,7 +11,8 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro.cache import CacheGeometry, simulate_lru
+from repro.cache import CacheGeometry
+from repro.sim import MemoryHierarchy, simulate
 from repro.ir import Binary, Procedure, Terminator, assign_addresses
 from repro.layout import SpikeOptimizer
 from repro.profiles import PixieProfiler
@@ -70,7 +71,7 @@ def miss_count(binary, layout, trace, cache):
     blocks = np.asarray(trace, dtype=np.int64)
     starts = amap.addr[blocks]
     counts = amap.n_fetch[blocks].astype(np.int64)
-    return simulate_lru([(starts, counts)], cache).misses
+    return simulate([(starts, counts)], MemoryHierarchy.l1i_only(cache)).misses
 
 
 def main() -> None:

@@ -6,6 +6,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.cache.icache import CacheGeometry
+from repro.deprecation import warn_once
 
 
 @dataclass
@@ -19,7 +20,7 @@ class DCacheResult:
     miss_positions: np.ndarray = None
 
 
-def simulate_dcache(
+def _dcache_result(
     addresses: np.ndarray,
     geometry: CacheGeometry,
     positions: np.ndarray = None,
@@ -60,3 +61,18 @@ def simulate_dcache(
         miss_addresses=np.asarray(miss_addr, dtype=np.int64),
         miss_positions=np.asarray(miss_pos, dtype=np.int64),
     )
+
+
+def simulate_dcache(
+    addresses: np.ndarray,
+    geometry: CacheGeometry,
+    positions: np.ndarray = None,
+) -> DCacheResult:
+    """Deprecated: use :func:`repro.sim.simulate` with a
+    :class:`~repro.sim.MemoryHierarchy` whose ``dcache`` is set."""
+    warn_once(
+        "simulate_dcache",
+        "simulate_dcache() is deprecated; use repro.sim.simulate() with "
+        "hierarchy.dcache set (or repro.sim.classic.dcache_result())",
+    )
+    return _dcache_result(addresses, geometry, positions)

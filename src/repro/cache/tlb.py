@@ -8,6 +8,7 @@ from typing import List, Tuple
 import numpy as np
 
 from repro import obs
+from repro.deprecation import warn_once
 from repro.errors import SimulationError
 
 #: Alpha page size: 8 KB.
@@ -22,7 +23,7 @@ class TlbResult:
     unique_pages: int
 
 
-def simulate_itlb(
+def _itlb_result(
     streams: List[Tuple[np.ndarray, np.ndarray]],
     entries: int = 64,
     page_bytes: int = PAGE_BYTES,
@@ -94,3 +95,18 @@ def simulate_itlb(
         accesses=total_accesses,
         unique_pages=len(touched),
     )
+
+
+def simulate_itlb(
+    streams: List[Tuple[np.ndarray, np.ndarray]],
+    entries: int = 64,
+    page_bytes: int = PAGE_BYTES,
+) -> TlbResult:
+    """Deprecated: use :func:`repro.sim.simulate` with a
+    :class:`~repro.sim.MemoryHierarchy` whose ``itlb_entries`` is set."""
+    warn_once(
+        "simulate_itlb",
+        "simulate_itlb() is deprecated; use repro.sim.simulate() with "
+        "hierarchy.itlb_entries set (or repro.sim.classic.itlb_result())",
+    )
+    return _itlb_result(streams, entries=entries, page_bytes=page_bytes)

@@ -22,7 +22,11 @@ from repro.check.api import (
     check_quality,
     verify_layout,
 )
-from repro.check.deprecations import DEPRECATED_APIS, scan_deprecated_calls
+from repro.check.deprecations import (
+    DEPRECATED_APIS,
+    DEPRECATED_SIMULATORS,
+    scan_deprecated_calls,
+)
 from repro.check.diagnostics import (
     CODES,
     CheckContext,
@@ -44,6 +48,7 @@ __all__ = [
     "CheckReport",
     "CheckRunner",
     "DEPRECATED_APIS",
+    "DEPRECATED_SIMULATORS",
     "Diagnostic",
     "Severity",
     "check_all",

@@ -1,11 +1,18 @@
-"""Deprecated-API call-site scanning (the ``DEP*`` family).
+"""Deprecated/removed-API call-site scanning (the ``DEP*`` family).
 
-The runtime deprecation shims in :mod:`repro.harness.experiment` warn
-once per process, which keeps sweeps quiet but also means stale callers
-hide until someone happens to trip the first warning.  This scanner
-finds every call site *statically* -- an AST walk over the repository's
-Python sources -- and reports each one as a ``DEP001`` info diagnostic,
-so ``repro lint`` shows the full migration backlog at once.
+Runtime shims only speak up when something actually calls them -- the
+``repro.cache.simulate_*`` wrappers warn once per process, and the
+removed ``Experiment.*_streams`` accessors raise.  This scanner finds
+every call site *statically* -- an AST walk over the repository's
+Python sources -- so ``repro lint`` shows the full migration backlog
+at once:
+
+* ``DEP001`` (error): a call site still uses one of the **removed**
+  ``*_streams`` accessors; it will raise
+  :class:`~repro.errors.RemovedAPIError` at runtime.
+* ``DEP002`` (info): a call site uses one of the **deprecated**
+  per-level simulators instead of the :func:`repro.sim.simulate`
+  facade; it still works, with one ``DeprecationWarning`` per process.
 """
 
 from __future__ import annotations
@@ -16,14 +23,27 @@ from typing import Dict, Iterable, Iterator, List
 
 from repro.check.diagnostics import Diagnostic, Severity
 
-#: Deprecated attribute/method names -> the replacement to suggest.
-#: Kept in sync with the runtime ``Experiment._deprecated`` shims (a
+#: Removed attribute/method names -> the replacement to suggest.
+#: Kept in sync with the runtime ``Experiment._removed`` stubs (a
 #: test cross-references the two).
 DEPRECATED_APIS: Dict[str, str] = {
     "app_streams": 'streams(combo, scope="app")',
     "kernel_streams": 'streams(scope="kernel", kernel_combo=...)',
     "combined_streams": 'streams(combo, scope="combined")',
     "per_process_streams": 'streams(combo, scope="per-process")',
+}
+
+#: Deprecated simulator entry points -> the facade replacement.
+#: Kept in sync with the warn-once wrappers in ``repro.cache``.
+DEPRECATED_SIMULATORS: Dict[str, str] = {
+    "simulate_direct_mapped": "repro.sim.simulate() or "
+    "repro.sim.classic.direct_mapped_misses()",
+    "simulate_lru": "repro.sim.simulate(streams, "
+    "MemoryHierarchy.l1i_only(geometry))",
+    "simulate_l2": "repro.sim.simulate() with hierarchy.l2 set",
+    "simulate_itlb": "repro.sim.simulate() with hierarchy.itlb_entries set",
+    "simulate_dcache": "repro.sim.simulate() with hierarchy.dcache set",
+    "sweep_direct_mapped": "repro.sim.simulate_grid()",
 }
 
 
@@ -38,16 +58,41 @@ def _scan_source(text: str, path: str) -> Iterator[Diagnostic]:
         )
         return
     for node in ast.walk(tree):
-        # Deprecated APIs are methods, so every interesting site is an
+        # The removed APIs are methods, so every interesting site is an
         # attribute access (bare-name definitions inside experiment.py
-        # itself are the shims, not callers).
+        # itself are the stubs, not callers).
         if isinstance(node, ast.Attribute) and node.attr in DEPRECATED_APIS:
             yield Diagnostic(
-                "DEP001", Severity.INFO,
-                f"call site uses deprecated API {node.attr!r}",
+                "DEP001", Severity.ERROR,
+                f"call site uses removed API {node.attr!r}",
                 target=path, location=f"line {node.lineno}",
                 hint=f"use {DEPRECATED_APIS[node.attr]} instead",
             )
+        # The deprecated simulators are module functions: both bare
+        # names (``simulate_lru(...)``) and attribute references
+        # (``cache.simulate_lru(...)``) are call-site shapes; plain
+        # ``from repro.cache import ...`` statements are not flagged.
+        name = None
+        if isinstance(node, ast.Name) and node.id in DEPRECATED_SIMULATORS:
+            name = node.id
+        elif isinstance(node, ast.Attribute) and node.attr in DEPRECATED_SIMULATORS:
+            name = node.attr
+        if name is not None:
+            yield Diagnostic(
+                "DEP002", Severity.INFO,
+                f"call site uses deprecated simulator {name!r}",
+                target=path, location=f"line {node.lineno}",
+                hint=f"use {DEPRECATED_SIMULATORS[name]} instead",
+            )
+
+
+def _is_definition_module(path: Path) -> bool:
+    """True for the modules that define the shims themselves."""
+    if path.name == "experiment.py" and path.parent.name == "harness":
+        return True  # the removed *_streams stubs
+    if path.parent.name in ("cache", "sim") and path.parent.parent.name == "repro":
+        return True  # the deprecated simulator wrappers + new engine
+    return False
 
 
 def scan_deprecated_calls(
@@ -57,16 +102,16 @@ def scan_deprecated_calls(
 
     Args:
         roots: Files or directories to walk (``.py`` files only).
-        skip_definitions: Leave out the module that *defines* the shims
-            (``harness/experiment.py``) so the report lists only real
-            callers.
+        skip_definitions: Leave out the modules that *define* the shims
+            (``harness/experiment.py``, ``repro/cache/*``,
+            ``repro/sim/*``) so the report lists only real callers.
     """
     diagnostics: List[Diagnostic] = []
     for root in roots:
         base = Path(root)
         files = sorted(base.rglob("*.py")) if base.is_dir() else [base]
         for path in files:
-            if skip_definitions and path.name == "experiment.py" and path.parent.name == "harness":
+            if skip_definitions and _is_definition_module(path):
                 continue
             try:
                 text = path.read_text()

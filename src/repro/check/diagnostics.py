@@ -71,7 +71,8 @@ CODES: Dict[str, str] = {
     "QLT003": "hot loop body crosses a page boundary (iTLB hazard)",
     "QLT004": "hot code lines collide in a direct-mapped cache set (conflict smell)",
     # -- deprecations (DEP*) ------------------------------------------
-    "DEP001": "call site uses a deprecated API",
+    "DEP001": "call site uses a removed API",
+    "DEP002": "call site uses a deprecated simulator entry point",
 }
 
 

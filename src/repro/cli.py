@@ -5,6 +5,8 @@ Commands:
 * ``info``     -- describe the generated binaries and configuration.
 * ``figure``   -- regenerate one or more paper figures as text tables.
 * ``sweep``    -- run the Figure 4/5 cache sweep.
+* ``sim-bench`` -- time the fig04 sweep under the batched and classic
+  engines, verify bit-identical miss counts, and record the gate.
 * ``ablation`` -- run the Figure 7 optimization ablation.
 * ``online``   -- online adaptation on a phase-shifting workload
   (static decay vs adaptive re-layout, epoch by epoch).
@@ -27,6 +29,10 @@ worker processes with bit-identical output.  A per-stage run log
 (wall time, cache hit/miss, bytes) is printed to stderr after each
 command unless ``--quiet`` is given.  ``--trace PATH`` records
 :mod:`repro.obs` spans to a JSONL file for ``report``/``trace-export``.
+The shared flags may be given before or after the subcommand; the
+direct-mapped sweep figures additionally take ``--engine
+{batched,classic}`` (default ``batched``, the single-pass
+:mod:`repro.sim` engine).
 """
 
 from __future__ import annotations
@@ -44,38 +50,82 @@ from repro.harness import (
     quick_experiment,
 )
 
-#: figure name -> callable(exp) returning one or more Tables.
+#: figure name -> callable(exp, engine) returning one or more Tables.
+#: Only the direct-mapped sweep figures consume ``engine``.
 _FIGURES: Dict[str, Callable] = {
-    "fig03": lambda exp: [figures.fig03_execution_profile(exp)],
-    "fig04": lambda exp: [
-        figures.fig04_table(figures.fig04_cache_sweep(exp, combo), combo)
+    "fig03": lambda exp, engine: [figures.fig03_execution_profile(exp)],
+    "fig04": lambda exp, engine: [
+        figures.fig04_table(
+            figures.fig04_cache_sweep(exp, combo, engine=engine), combo
+        )
         for combo in ("base", "all")
     ],
-    "fig05": lambda exp: [
+    "fig05": lambda exp, engine: [
         figures.fig05_relative(
-            figures.fig04_cache_sweep(exp, "base"),
-            figures.fig04_cache_sweep(exp, "all"),
+            figures.fig04_cache_sweep(exp, "base", engine=engine),
+            figures.fig04_cache_sweep(exp, "all", engine=engine),
         )
     ],
-    "fig06": lambda exp: [figures.fig06_associativity(exp)],
-    "fig07": lambda exp: [figures.fig07_ablation(exp)],
-    "fig08": lambda exp: list(figures.fig08_sequences(exp)),
-    "fig12": lambda exp: [
+    "fig06": lambda exp, engine: [figures.fig06_associativity(exp)],
+    "fig07": lambda exp, engine: [figures.fig07_ablation(exp)],
+    "fig08": lambda exp, engine: list(figures.fig08_sequences(exp)),
+    "fig12": lambda exp, engine: [
         figures.fig12_combined(exp, "base"),
         figures.fig12_combined(exp, "all"),
     ],
-    "fig13": lambda exp: [
+    "fig13": lambda exp, engine: [
         figures.fig13_interference(exp, "base"),
         figures.fig13_interference(exp, "all"),
     ],
-    "fig14": lambda exp: [figures.fig14_itlb_l2(exp)],
-    "fig15": lambda exp: [figures.fig15_exec_time(exp)],
-    "packing": lambda exp: [figures.text_packing(exp)],
+    "fig14": lambda exp, engine: [figures.fig14_itlb_l2(exp)],
+    "fig15": lambda exp, engine: [figures.fig15_exec_time(exp)],
+    "packing": lambda exp, engine: [figures.text_packing(exp)],
 }
 
 
 def _default_jobs() -> int:
     return int(os.environ.get("REPRO_JOBS", "1") or "1")
+
+
+def _add_shared_flags(parser: argparse.ArgumentParser, suppress: bool) -> None:
+    """The flags every command understands, defined once.
+
+    Added twice: to the root parser with real defaults, and to the
+    ``add_help=False`` parent each subcommand inherits with SUPPRESS
+    defaults -- so ``repro --jobs 4 figure ...`` and ``repro figure ...
+    --jobs 4`` both work, and a flag omitted after the subcommand never
+    clobbers one given before it.
+    """
+
+    def default(value):
+        return argparse.SUPPRESS if suppress else value
+
+    parser.add_argument(
+        "--full", action="store_true", default=default(False),
+        help="use the paper-scale experiment (slower; benchmark default)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=default(_default_jobs()), metavar="N",
+        help="worker processes for sweep fan-out (default $REPRO_JOBS or 1; "
+        "-1 = one per CPU); output is bit-identical to serial",
+    )
+    parser.add_argument(
+        "--cache-dir", default=default(None), metavar="PATH",
+        help=f"artifact cache directory (default {default_cache_dir()})",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", default=default(False),
+        help="disable the persistent artifact cache for this run",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", default=default(False),
+        help="suppress the per-stage run log on stderr",
+    )
+    parser.add_argument(
+        "--trace", default=default(None), metavar="PATH",
+        help="record observability spans to a JSONL trace file "
+        "(view with 'report' or 'trace-export')",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -84,37 +134,18 @@ def _build_parser() -> argparse.ArgumentParser:
         description="Reproduction of 'Code Layout Optimizations for "
         "Transaction Processing Workloads' (ISCA 2001)",
     )
-    parser.add_argument(
-        "--full", action="store_true",
-        help="use the paper-scale experiment (slower; benchmark default)",
-    )
-    parser.add_argument(
-        "--jobs", type=int, default=_default_jobs(), metavar="N",
-        help="worker processes for sweep fan-out (default $REPRO_JOBS or 1; "
-        "-1 = one per CPU); output is bit-identical to serial",
-    )
-    parser.add_argument(
-        "--cache-dir", default=None, metavar="PATH",
-        help=f"artifact cache directory (default {default_cache_dir()})",
-    )
-    parser.add_argument(
-        "--no-cache", action="store_true",
-        help="disable the persistent artifact cache for this run",
-    )
-    parser.add_argument(
-        "--quiet", action="store_true",
-        help="suppress the per-stage run log on stderr",
-    )
-    parser.add_argument(
-        "--trace", default=None, metavar="PATH",
-        help="record observability spans to a JSONL trace file "
-        "(view with 'report' or 'trace-export')",
-    )
+    _add_shared_flags(parser, suppress=False)
+    shared = argparse.ArgumentParser(add_help=False)
+    _add_shared_flags(shared, suppress=True)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("info", help="describe the generated system")
+    sub.add_parser(
+        "info", help="describe the generated system", parents=[shared]
+    )
 
-    figure = sub.add_parser("figure", help="regenerate paper figures")
+    figure = sub.add_parser(
+        "figure", help="regenerate paper figures", parents=[shared]
+    )
     figure.add_argument(
         "names", nargs="+", choices=sorted(_FIGURES) + ["all"],
         help="figure ids (or 'all')",
@@ -123,14 +154,50 @@ def _build_parser() -> argparse.ArgumentParser:
         "--save-json", default=None, metavar="DIR",
         help="also write each table as BENCH_<figure>.json under DIR",
     )
+    figure.add_argument(
+        "--engine", choices=("batched", "classic"), default="batched",
+        help="direct-mapped sweep engine for fig04/fig05 (default "
+        "batched; classic is the per-cell cross-check path)",
+    )
 
-    sub.add_parser("sweep", help="Figure 4/5 cache sweep (base + optimized)")
-    sub.add_parser("ablation", help="Figure 7 optimization ablation")
+    sweep = sub.add_parser(
+        "sweep", help="Figure 4/5 cache sweep (base + optimized)",
+        parents=[shared],
+    )
+    sweep.add_argument(
+        "--engine", choices=("batched", "classic"), default="batched",
+        help="direct-mapped sweep engine (default batched)",
+    )
+    sub.add_parser(
+        "ablation", help="Figure 7 optimization ablation", parents=[shared]
+    )
+
+    simbench = sub.add_parser(
+        "sim-bench",
+        help="time the fig04 sweep under both engines and verify "
+        "bit-identical miss counts",
+        parents=[shared],
+    )
+    simbench.add_argument(
+        "--check", action="store_true",
+        help="exit 1 unless the batched engine matches classic exactly "
+        "and is >= 2x faster",
+    )
+    simbench.add_argument(
+        "--save-json", default=None, metavar="DIR",
+        help="write the gate result as BENCH_sim_fig04.json under DIR "
+        "(for 'repro bench-diff' against the committed baseline)",
+    )
+    simbench.add_argument(
+        "--min-speedup", type=float, default=2.0, metavar="X",
+        help="speedup the gate requires (default 2.0)",
+    )
 
     online = sub.add_parser(
         "online",
         help="online adaptation: static decay vs adaptive re-layout on a "
         "phase-shifting TPC-B -> DSS workload",
+        parents=[shared],
     )
     online.add_argument(
         "--epochs", type=int, default=6, metavar="N",
@@ -170,7 +237,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "offline re-profiling and beats the static layout",
     )
 
-    cache = sub.add_parser("cache", help="inspect or clear the artifact cache")
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the artifact cache", parents=[shared]
+    )
     cache.add_argument(
         "action", choices=("info", "clear"),
         help="'info' summarizes the cache; 'clear' wipes it",
@@ -242,6 +311,7 @@ def _build_parser() -> argparse.ArgumentParser:
         description="Verify layout integrity, profile flow conservation, "
         "and layout-quality lints over the generated binaries -- or over "
         "saved layout/profile artifacts.",
+        parents=[shared],
     )
     lint.add_argument(
         "--combo", action="append", default=None, metavar="NAME",
@@ -364,7 +434,7 @@ def _cmd_figure(args, out) -> int:
         sorted(_FIGURES) if "all" in args.names else list(dict.fromkeys(args.names))
     )
     for name in names:
-        tables = _FIGURES[name](exp)
+        tables = _FIGURES[name](exp, args.engine)
         for index, table in enumerate(tables):
             out.write(table.render() + "\n")
             if args.save_json:
@@ -382,12 +452,79 @@ def _cmd_figure(args, out) -> int:
 def _cmd_sweep(args, out) -> int:
     exp = _experiment(args)
     _warm(exp)
-    base = figures.fig04_cache_sweep(exp, "base")
-    opt = figures.fig04_cache_sweep(exp, "all")
+    base = figures.fig04_cache_sweep(exp, "base", engine=args.engine)
+    opt = figures.fig04_cache_sweep(exp, "all", engine=args.engine)
     out.write(figures.fig04_table(base, "base").render() + "\n")
     out.write(figures.fig04_table(opt, "all").render() + "\n")
     out.write(figures.fig05_relative(base, opt).render() + "\n")
     _emit_runlog(exp, args)
+    return 0
+
+
+def _cmd_sim_bench(args, out) -> int:
+    """Time the fig04 sweep under both engines on identical streams.
+
+    The gate is recorded as boolean ``ratio_ok`` rows (1 = pass) rather
+    than raw seconds, so ``repro bench-diff`` against the committed
+    baseline stays machine-independent: a pass-to-fail flip shows up as
+    a -100% regression; timing jitter never trips it.
+    """
+    import time as _time
+
+    from repro.sim import simulate_grid
+
+    exp = _experiment(args)
+    _warm(exp)
+    streams = {
+        combo: exp.streams(combo, scope="app") for combo in ("base", "all")
+    }
+    jobs = exp.jobs
+    timings: Dict[str, float] = {}
+    grids: Dict[str, dict] = {}
+    for engine in ("classic", "batched"):
+        start = _time.perf_counter()
+        grids[engine] = {
+            combo: simulate_grid(
+                streams[combo],
+                figures.SWEEP_SIZES,
+                figures.SWEEP_LINES,
+                jobs=jobs,
+                engine=engine,
+            )
+            for combo in ("base", "all")
+        }
+        timings[engine] = _time.perf_counter() - start
+    identical = grids["classic"] == grids["batched"]
+    speedup = timings["classic"] / max(timings["batched"], 1e-9)
+    speedup_ok = speedup >= args.min_speedup
+
+    from repro.harness.figures import Table
+
+    table = Table(
+        title="sim-bench: fig04 sweep, batched vs classic engine",
+        columns=["metric", "ratio_ok"],
+        rows=[
+            ["identical_misses", int(identical)],
+            [f"speedup_ge_{args.min_speedup:g}x", int(speedup_ok)],
+        ],
+        notes=[
+            f"classic {timings['classic']:.3f}s, batched "
+            f"{timings['batched']:.3f}s, speedup {speedup:.2f}x "
+            f"(jobs={jobs}; timings informational, not gated)",
+        ],
+    )
+    out.write(table.render() + "\n")
+    if args.save_json:
+        from repro.harness import write_benchmark_json
+
+        write_benchmark_json("sim_fig04", table, args.save_json)
+    _emit_runlog(exp, args)
+    if args.check and not (identical and speedup_ok):
+        sys.stderr.write(
+            f"sim-bench check FAILED: identical_misses={identical} "
+            f"speedup={speedup:.2f}x (need >= {args.min_speedup:g}x)\n"
+        )
+        return 1
     return 0
 
 
@@ -593,6 +730,7 @@ def main(argv=None, out=None) -> int:
         "info": _cmd_info,
         "figure": _cmd_figure,
         "sweep": _cmd_sweep,
+        "sim-bench": _cmd_sim_bench,
         "ablation": _cmd_ablation,
         "online": _cmd_online,
         "cache": _cmd_cache,

@@ -1,0 +1,28 @@
+"""Process-wide warn-once registry for deprecated entry points.
+
+Deprecated shims across the package funnel through :func:`warn_once`
+so a sweep that calls a legacy function per cache geometry emits one
+``DeprecationWarning``, not hundreds.  The registry is keyed by the
+shim's stable name, lives for the process, and can be reset from tests
+via :func:`reset_deprecation_warnings`.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+#: Shim keys that already warned this process.
+_WARNED: set = set()
+
+
+def warn_once(key: str, message: str, stacklevel: int = 3) -> None:
+    """Emit ``DeprecationWarning`` for ``key`` once per process."""
+    if key in _WARNED:
+        return
+    _WARNED.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+
+
+def reset_deprecation_warnings() -> None:
+    """Let every once-per-process warning fire again (testing hook)."""
+    _WARNED.clear()

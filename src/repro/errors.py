@@ -60,3 +60,8 @@ class WorkloadError(ReproError):
 
 class SimulationError(ReproError):
     """Execution/cache/timing simulation misconfiguration."""
+
+
+class RemovedAPIError(ReproError):
+    """A removed legacy entry point was called; the message carries the
+    migration hint (the replacement API)."""

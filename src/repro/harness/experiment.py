@@ -27,7 +27,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import ConfigError, SimulationError
+from repro.deprecation import reset_deprecation_warnings  # noqa: F401  (re-export)
+from repro.errors import ConfigError, RemovedAPIError, SimulationError
 from repro.execution import CombinedAddressMap, OltpSystem, SystemConfig, SystemTrace
 from repro.harness.runlog import CACHE_HIT, CACHE_MISS, CACHE_OFF, RunLog
 from repro.harness.store import (
@@ -50,18 +51,6 @@ from repro.workloads import TpcbConfig
 
 #: Valid scopes for :meth:`Experiment.streams`.
 STREAM_SCOPES = ("app", "kernel", "combined", "per-process")
-
-#: Legacy ``*_streams`` wrappers that already warned this process.
-#: Each deprecated accessor warns exactly once per process — a sweep
-#: calling ``app_streams`` per cache size must not bury its output in
-#: hundreds of identical warnings.
-_DEPRECATION_WARNED: set = set()
-
-
-def reset_deprecation_warnings() -> None:
-    """Let the once-per-process deprecation warnings fire again
-    (testing hook)."""
-    _DEPRECATION_WARNED.clear()
 
 
 def _verify_enabled() -> bool:
@@ -475,49 +464,38 @@ class Experiment:
             streams=tuple(spans),
         )
 
-    # -- deprecated stream accessors ------------------------------------------------
+    # -- removed stream accessors ---------------------------------------------------
+    #
+    # The ``*_streams`` wrappers were deprecated (warning) for one
+    # release; the in-repo DEP001 scan is clean, so they now raise with
+    # the migration hint.  ``repro lint`` still flags external callers.
 
-    def _deprecated(self, old: str, new: str) -> None:
-        import warnings
-
-        if old in _DEPRECATION_WARNED:
-            return
-        _DEPRECATION_WARNED.add(old)
-        warnings.warn(
-            f"Experiment.{old}() is deprecated; use Experiment.{new}",
-            DeprecationWarning,
-            stacklevel=3,
+    def _removed(self, old: str, new: str) -> None:
+        raise RemovedAPIError(
+            f"Experiment.{old}() was removed; use Experiment.{new} instead"
         )
 
     def app_streams(self, combo: str) -> List[Tuple[np.ndarray, np.ndarray]]:
-        """Deprecated: use ``streams(combo, scope="app")``."""
-        self._deprecated("app_streams", f'streams({combo!r}, scope="app")')
-        return list(self.streams(combo, scope="app"))
+        """Removed: use ``streams(combo, scope="app")``."""
+        self._removed("app_streams", f'streams({combo!r}, scope="app")')
 
     def kernel_streams(self, kernel_combo: str = "base") -> List[Tuple[np.ndarray, np.ndarray]]:
-        """Deprecated: use ``streams(scope="kernel", kernel_combo=...)``."""
-        self._deprecated(
+        """Removed: use ``streams(scope="kernel", kernel_combo=...)``."""
+        self._removed(
             "kernel_streams", f'streams(scope="kernel", kernel_combo={kernel_combo!r})'
         )
-        return list(self.streams(scope="kernel", kernel_combo=kernel_combo))
 
     def combined_streams(
         self, combo: str, kernel_combo: str = "base"
     ) -> List[Tuple[np.ndarray, np.ndarray]]:
-        """Deprecated: use ``streams(combo, scope="combined")``."""
-        self._deprecated(
-            "combined_streams", f'streams({combo!r}, scope="combined")'
-        )
-        return list(
-            self.streams(combo, scope="combined", kernel_combo=kernel_combo)
-        )
+        """Removed: use ``streams(combo, scope="combined")``."""
+        self._removed("combined_streams", f'streams({combo!r}, scope="combined")')
 
     def per_process_streams(self, combo: str):
-        """Deprecated: use ``streams(combo, scope="per-process")``."""
-        self._deprecated(
+        """Removed: use ``streams(combo, scope="per-process")``."""
+        self._removed(
             "per_process_streams", f'streams({combo!r}, scope="per-process")'
         )
-        return list(self.streams(combo, scope="per-process"))
 
 
 @lru_cache(maxsize=1)

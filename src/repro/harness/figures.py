@@ -20,18 +20,10 @@ from repro.analysis import (
     sequence_lengths,
     union_footprint_in_lines,
 )
-from repro.cache import (
-    CacheGeometry,
-    ICacheResult,
-    simulate_direct_mapped,
-    simulate_l1i_misses,
-    simulate_l2,
-    simulate_itlb,
-    simulate_lru,
-    simulate_dcache,
-)
+from repro.cache import CacheGeometry, ICacheResult
 from repro.harness.experiment import Experiment
 from repro.harness.parallel import parallel_map
+from repro.sim import MemoryHierarchy, simulate, simulate_grid
 from repro.layout import PAPER_COMBOS
 from repro.timing import (
     ALPHA_21164,
@@ -140,12 +132,14 @@ def fig03_execution_profile(exp: Experiment) -> Table:
 # -- parallel fan-out ---------------------------------------------------------
 #
 # The sweep figures replay prepared streams through many independent
-# cache geometries.  The streams are materialized in the parent (one
-# trace replay per combo) and published through a module global; the
-# fork-based pool in parallel_map lets workers inherit them without
-# pickling multi-megabyte arrays.  Cells are pure functions of
-# (geometry, streams), and parallel_map preserves input order, so
-# --jobs N output is bit-identical to serial.
+# cache geometries.  The Figure 4/5 direct-mapped grid goes through
+# repro.sim.simulate_grid (batched single-pass engine, shared-memory
+# stream buffers).  The LRU figures materialize streams in the parent
+# and publish them through a module global; the fork-based pool in
+# parallel_map lets workers inherit them without pickling
+# multi-megabyte arrays.  Cells are pure functions of (geometry,
+# streams), and parallel_map preserves input order, so --jobs N output
+# is bit-identical to serial.
 
 _CELL_STREAMS: Dict[str, Sequence[Tuple[np.ndarray, np.ndarray]]] = {}
 
@@ -155,19 +149,11 @@ def _publish_streams(streams: Dict[str, Sequence]) -> None:
     _CELL_STREAMS.update(streams)
 
 
-def _dm_cell(cell: Tuple[str, int, int]) -> int:
-    combo, size, line = cell
-    geometry = CacheGeometry(size, line, 1)
-    return sum(
-        simulate_direct_mapped(starts, counts, geometry)
-        for starts, counts in _CELL_STREAMS[combo]
-    )
-
-
 def _lru_cell(cell: Tuple[str, int, int, int]) -> int:
     combo, size, line, assoc = cell
-    return simulate_lru(
-        _CELL_STREAMS[combo], CacheGeometry(size, line, assoc)
+    return simulate(
+        _CELL_STREAMS[combo],
+        MemoryHierarchy.l1i_only(CacheGeometry(size, line, assoc)),
     ).misses
 
 
@@ -179,21 +165,26 @@ def _jobs(exp: Experiment, jobs: Optional[int]) -> Optional[int]:
 
 
 def fig04_cache_sweep(
-    exp: Experiment, combo: str, jobs: Optional[int] = None
+    exp: Experiment,
+    combo: str,
+    jobs: Optional[int] = None,
+    engine: str = "batched",
 ) -> Dict[Tuple[int, int], int]:
-    """Direct-mapped miss counts over the size x line grid (app only)."""
-    with exp.runlog.stage("sweep", f"fig04:{combo}"):
-        _publish_streams({combo: list(exp.streams(combo, scope="app"))})
-        try:
-            cells = [
-                (combo, size, line)
-                for size in SWEEP_SIZES
-                for line in SWEEP_LINES
-            ]
-            misses = parallel_map(_dm_cell, cells, jobs=_jobs(exp, jobs))
-        finally:
-            _publish_streams({})
-    return {(size, line): m for (_c, size, line), m in zip(cells, misses)}
+    """Direct-mapped miss counts over the size x line grid (app only).
+
+    ``engine`` picks the sweep implementation: ``"batched"`` (default)
+    evaluates the whole grid in one pass per stream chunk,
+    ``"classic"`` runs the per-cell reference engine.  Both are
+    bit-identical (CI cross-checks them).
+    """
+    with exp.runlog.stage("sweep", f"fig04:{combo}:{engine}"):
+        return simulate_grid(
+            exp.streams(combo, scope="app"),
+            SWEEP_SIZES,
+            SWEEP_LINES,
+            jobs=_jobs(exp, jobs),
+            engine=engine,
+        )
 
 
 def fig04_table(grid: Dict[Tuple[int, int], int], combo: str) -> Table:
@@ -353,7 +344,9 @@ def fig08_sequences(exp: Experiment) -> Tuple[Table, Table]:
 def detailed_results(exp: Experiment, combo: str) -> ICacheResult:
     """Detailed 128KB/128B/4-way simulation of CPU 0's app stream."""
     streams = exp.streams(combo, scope="app")
-    return simulate_lru([streams[0]], DETAIL_GEOMETRY, detail=True)
+    return simulate(
+        [streams[0]], MemoryHierarchy.l1i_only(DETAIL_GEOMETRY, detail=True)
+    ).icache
 
 
 def fig09_word_usage(base: ICacheResult, opt: ICacheResult) -> Table:
@@ -440,10 +433,10 @@ def fig12_combined(exp: Experiment, combo: str) -> Table:
     """App+kernel combined miss rates for one combo (Figure 12)."""
     rows = []
     for size in SWEEP_SIZES:
-        geometry = CacheGeometry(size, 128, 4)
-        combined = simulate_lru(exp.streams(combo, scope="combined"), geometry).misses
-        app_only = simulate_lru(exp.streams(combo, scope="app"), geometry).misses
-        kernel_only = simulate_lru(exp.streams(scope="kernel"), geometry).misses
+        hierarchy = MemoryHierarchy.l1i_only(CacheGeometry(size, 128, 4))
+        combined = simulate(exp.streams(combo, scope="combined"), hierarchy).misses
+        app_only = simulate(exp.streams(combo, scope="app"), hierarchy).misses
+        kernel_only = simulate(exp.streams(scope="kernel"), hierarchy).misses
         rows.append([size // 1024, combined, app_only, kernel_only])
     return Table(
         title=f"Figure 12 ({combo}): combined app+OS I-cache misses (128B, 4-way)",
@@ -461,7 +454,10 @@ def fig12_combined(exp: Experiment, combo: str) -> Table:
 
 def fig13_interference(exp: Experiment, combo: str) -> Table:
     """App/kernel interference breakdown for one combo (Figure 13)."""
-    result = simulate_lru(exp.streams(combo, scope="combined"), DETAIL_GEOMETRY)
+    result = simulate(
+        exp.streams(combo, scope="combined"),
+        MemoryHierarchy.l1i_only(DETAIL_GEOMETRY),
+    ).icache
     breakdown = InterferenceBreakdown.from_matrix(result.interference)
     rows = []
     for missing in ("kernel", "application", "both"):
@@ -487,23 +483,20 @@ def fig13_interference(exp: Experiment, combo: str) -> Table:
 def fig14_itlb_l2(exp: Experiment) -> Table:
     """iTLB and shared-L2 miss comparison (Figure 14)."""
     rows = []
-    l2_geometry = CacheGeometry(1536 * 1024, 64, 6)
-    l1_geometry = CacheGeometry(64 * 1024, 64, 2)
+    hierarchy = MemoryHierarchy(
+        l1i=CacheGeometry(64 * 1024, 64, 2),
+        l2=CacheGeometry(1536 * 1024, 64, 6),
+        dcache=CacheGeometry(64 * 1024, 64, 2),
+        itlb_entries=64,
+    )
+    data = list(zip(exp.trace.data_addresses, exp.trace.data_positions))
     for combo in ("base", "all"):
-        streams = exp.streams(combo, scope="combined")
-        itlb = simulate_itlb(streams, entries=64).misses
-        refills = []
-        for cpu_index, (starts, counts) in enumerate(streams):
-            addresses, positions = simulate_l1i_misses(starts, counts, l1_geometry)
-            data = exp.trace.data_addresses[cpu_index]
-            pos = exp.trace.data_positions[cpu_index]
-            dres = simulate_dcache(data, l1_geometry, pos)
-            refills.append((
-                np.concatenate([addresses, dres.miss_addresses]),
-                np.concatenate([positions, dres.miss_positions]),
-            ))
-        l2 = simulate_l2(refills, l2_geometry)
-        rows.append([combo, itlb, l2.misses_instr, l2.misses_data])
+        result = simulate(
+            exp.streams(combo, scope="combined"), hierarchy, data_streams=data
+        )
+        rows.append(
+            [combo, result.itlb.misses, result.l2.misses_instr, result.l2.misses_data]
+        )
     return Table(
         title="Figure 14: iTLB (64-entry) and shared L2 (1.5MB 6-way) misses",
         columns=["binary", "iTLB", "L2_instr", "L2_data"],

@@ -33,8 +33,9 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.cache import CacheGeometry, simulate_lru
+from repro.cache import CacheGeometry
 from repro.errors import ConfigError
+from repro.sim import MemoryHierarchy, simulate
 from repro.execution import SystemConfig
 from repro.harness.experiment import Experiment, ExperimentConfig
 from repro.ir import AddressMap, assign_addresses
@@ -293,9 +294,8 @@ def run_online_experiment(
 
     def measure(amap: AddressMap, streams) -> "tuple[float, int]":
         spans = [amap.expand_spans(blocks) for blocks, _pids in streams]
-        result = simulate_lru(spans, geometry)
-        instructions = sum(int(counts.sum()) for _starts, counts in spans)
-        return result.misses / max(1, instructions) * 1000.0, instructions
+        result = simulate(spans, MemoryHierarchy.l1i_only(geometry))
+        return result.mpki, result.instructions
 
     report = OnlineReport(config=config)
     reprofiled_map = static_map  # deploys exact profiles one epoch late

@@ -1,0 +1,66 @@
+"""The classic per-cell simulation engines, under non-deprecated names.
+
+These are the whole-stream reference implementations the batched engine
+(:mod:`repro.sim.batch`) is validated against, re-exposed here so
+internal callers and cross-check paths don't trip the deprecation
+shims left on the old ``repro.cache.simulate_*`` names.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.cache.dcache import DCacheResult, _dcache_result
+from repro.cache.icache import (
+    CacheGeometry,
+    ICacheResult,
+    _direct_mapped_misses,
+    _lru_result,
+)
+from repro.cache.l2 import L2Result, _l2_result
+from repro.cache.tlb import PAGE_BYTES, TlbResult, _itlb_result
+
+
+def direct_mapped_misses(
+    starts: np.ndarray, counts: np.ndarray, geometry: CacheGeometry
+) -> int:
+    """Vectorized direct-mapped miss count for one fetch-span stream."""
+    return _direct_mapped_misses(starts, counts, geometry)
+
+
+def lru_result(
+    streams: List[Tuple[np.ndarray, np.ndarray]],
+    geometry: CacheGeometry,
+    detail: bool = False,
+) -> ICacheResult:
+    """Per-CPU private set-associative LRU caches, results merged."""
+    return _lru_result(streams, geometry, detail=detail)
+
+
+def l2_result(
+    refill_streams: List[Tuple[np.ndarray, np.ndarray]],
+    geometry: CacheGeometry,
+    physical: bool = True,
+) -> L2Result:
+    """One shared L2 over per-CPU refill streams merged by position."""
+    return _l2_result(refill_streams, geometry, physical=physical)
+
+
+def itlb_result(
+    streams: List[Tuple[np.ndarray, np.ndarray]],
+    entries: int = 64,
+    page_bytes: int = PAGE_BYTES,
+) -> TlbResult:
+    """Fully-associative LRU iTLB, one per CPU, results summed."""
+    return _itlb_result(streams, entries=entries, page_bytes=page_bytes)
+
+
+def dcache_result(
+    addresses: np.ndarray,
+    geometry: CacheGeometry,
+    positions: Optional[np.ndarray] = None,
+) -> DCacheResult:
+    """One data-address stream through an L1D, miss stream kept."""
+    return _dcache_result(addresses, geometry, positions)

@@ -1,0 +1,147 @@
+"""Shared-memory packing for per-CPU fetch-span streams.
+
+The sweep figures fan independent cells across a fork-based process
+pool.  The streams themselves are multi-megabyte int64 arrays; packing
+them once into a :mod:`multiprocessing.shared_memory` block means
+workers map the same physical pages instead of each holding (or being
+sent) a private copy -- and a spawn-style pool only has to pickle the
+tiny :meth:`SharedStreams.handle`, never the arrays.
+
+Lifecycle: the parent :meth:`SharedStreams.pack`\\ s, workers either
+inherit the object over ``fork`` or :meth:`SharedStreams.attach` by
+handle, and the parent :meth:`~SharedStreams.close`\\ s and
+:meth:`~SharedStreams.unlink`\\ s once the fan-out completes.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.errors import SimulationError
+
+_DTYPE = np.int64
+_ITEMSIZE = np.dtype(_DTYPE).itemsize
+
+
+class SharedStreams:
+    """Per-CPU ``(starts, counts)`` streams in one shared-memory block.
+
+    Iterating (or calling :meth:`stream`) yields zero-copy numpy views
+    into the shared buffer; they are valid until :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        layout: List[Tuple[int, int]],
+        owner: bool,
+    ) -> None:
+        self._shm = shm
+        #: (word offset, length) of each stream's starts array; the
+        #: counts array of a stream follows its starts immediately.
+        self._layout = layout
+        self._owner = owner
+        self._closed = False
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def pack(
+        cls, streams: Iterable[Tuple[np.ndarray, np.ndarray]]
+    ) -> "SharedStreams":
+        """Copy per-CPU streams into a fresh shared-memory block."""
+        pairs = [
+            (
+                np.ascontiguousarray(starts, dtype=_DTYPE),
+                np.ascontiguousarray(counts, dtype=_DTYPE),
+            )
+            for starts, counts in streams
+        ]
+        for starts, counts in pairs:
+            if len(starts) != len(counts):
+                raise SimulationError(
+                    "stream starts and counts lengths differ: "
+                    f"{len(starts)} vs {len(counts)}"
+                )
+        total_words = sum(2 * len(starts) for starts, _ in pairs)
+        shm = shared_memory.SharedMemory(
+            create=True, size=max(1, total_words * _ITEMSIZE)
+        )
+        layout: List[Tuple[int, int]] = []
+        offset = 0
+        buffer = np.ndarray(total_words, dtype=_DTYPE, buffer=shm.buf)
+        for starts, counts in pairs:
+            n = len(starts)
+            layout.append((offset, n))
+            buffer[offset : offset + n] = starts
+            buffer[offset + n : offset + 2 * n] = counts
+            offset += 2 * n
+        del buffer
+        obs.counter("sim.shared_bytes").inc(total_words * _ITEMSIZE)
+        return cls(shm, layout, owner=True)
+
+    @classmethod
+    def attach(cls, handle: Dict) -> "SharedStreams":
+        """Map an existing block from a :attr:`handle` (read-only use;
+        the attached side must :meth:`close` but never unlink)."""
+        shm = shared_memory.SharedMemory(name=handle["name"])
+        return cls(shm, [tuple(item) for item in handle["layout"]], owner=False)
+
+    @property
+    def handle(self) -> Dict:
+        """Tiny picklable description (block name + array layout)."""
+        return {"name": self._shm.name, "layout": list(self._layout)}
+
+    # -- access -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._layout)
+
+    def stream(self, index: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Zero-copy ``(starts, counts)`` views of one CPU's stream."""
+        offset, n = self._layout[index]
+        starts = np.ndarray(
+            n, dtype=_DTYPE, buffer=self._shm.buf, offset=offset * _ITEMSIZE
+        )
+        counts = np.ndarray(
+            n,
+            dtype=_DTYPE,
+            buffer=self._shm.buf,
+            offset=(offset + n) * _ITEMSIZE,
+        )
+        return starts, counts
+
+    def __iter__(self):
+        return (self.stream(index) for index in range(len(self)))
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the shared block in bytes."""
+        return self._shm.size
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Unmap the block from this process (idempotent; outstanding
+        numpy views keep the mapping alive until they are dropped)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._shm.close()
+        except BufferError:
+            # A live view still pins the buffer; the mapping is
+            # reclaimed when the process exits.
+            pass
+
+    def unlink(self) -> None:
+        """Destroy the block (creator only; no-op when attached)."""
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass

@@ -14,9 +14,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.cache.dcache import simulate_dcache
-from repro.cache.l2 import simulate_l1i_misses, simulate_l2
-from repro.cache.tlb import simulate_itlb
+from repro.sim import MemoryHierarchy, simulate
 from repro.timing.platforms import Platform
 
 
@@ -53,38 +51,23 @@ def estimate_cycles(
         platform: Machine model.
         data_streams: Optional (addresses, positions) per CPU.
     """
-    instructions = sum(int(c.sum()) for _, c in instruction_streams)
-
-    # L1I per CPU; collect refill streams for the L2.
-    icache_misses = 0
-    refills: List[Tuple[np.ndarray, np.ndarray]] = []
-    for starts, counts in instruction_streams:
-        addresses, positions = simulate_l1i_misses(starts, counts, platform.icache)
-        icache_misses += len(addresses)
-        refills.append((addresses, positions))
-
-    dcache_misses = 0
-    if data_streams:
-        for cpu, (addresses, positions) in enumerate(data_streams):
-            result = simulate_dcache(addresses, platform.dcache, positions)
-            dcache_misses += result.misses
-            refills[cpu] = (
-                np.concatenate([refills[cpu][0], result.miss_addresses]),
-                np.concatenate([refills[cpu][1], result.miss_positions]),
-            )
-
-    l2 = simulate_l2(refills, platform.l2)
-    tlb = simulate_itlb(instruction_streams, entries=platform.itlb_entries)
+    result = simulate(
+        instruction_streams,
+        MemoryHierarchy.from_platform(platform),
+        data_streams=data_streams,
+    )
+    instructions = result.instructions
+    dcache_misses = result.dcache.misses if result.dcache else 0
 
     base_cycles = instructions * platform.cpi_base
     icache_stall = (
-        icache_misses * platform.l1_miss_penalty
-        + l2.misses_instr * platform.l2_miss_penalty
+        result.l1i_misses * platform.l1_miss_penalty
+        + result.l2.misses_instr * platform.l2_miss_penalty
     )
-    itlb_stall = tlb.misses * platform.itlb_penalty
+    itlb_stall = result.itlb.misses * platform.itlb_penalty
     data_stall = (
         dcache_misses * platform.l1_miss_penalty
-        + l2.misses_data * platform.l2_miss_penalty
+        + result.l2.misses_data * platform.l2_miss_penalty
     )
     return CycleBreakdown(
         platform=platform.name,
@@ -93,10 +76,10 @@ def estimate_cycles(
         icache_stall=icache_stall,
         itlb_stall=itlb_stall,
         data_stall=data_stall,
-        icache_misses=icache_misses,
-        l2_instr_misses=l2.misses_instr,
-        l2_data_misses=l2.misses_data,
-        itlb_misses=tlb.misses,
+        icache_misses=result.l1i_misses,
+        l2_instr_misses=result.l2.misses_instr,
+        l2_data_misses=result.l2.misses_data,
+        itlb_misses=result.itlb.misses,
         dcache_misses=dcache_misses,
     )
 

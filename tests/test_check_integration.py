@@ -128,7 +128,7 @@ class TestRelayoutGate:
 
 
 class TestDeprecationScan:
-    def test_finds_deprecated_callers(self, tmp_path):
+    def test_finds_removed_api_callers(self, tmp_path):
         caller = tmp_path / "caller.py"
         caller.write_text(textwrap.dedent("""
             def run(exp):
@@ -138,8 +138,28 @@ class TestDeprecationScan:
         findings = scan_deprecated_calls([str(tmp_path)])
         assert len(findings) == 1
         assert findings[0].code == "DEP001"
+        assert findings[0].severity.value == "error"
         assert "app_streams" in findings[0].message
         assert "caller.py" in findings[0].target
+
+    def test_finds_deprecated_simulator_callers(self, tmp_path):
+        caller = tmp_path / "sim_caller.py"
+        caller.write_text(textwrap.dedent("""
+            from repro.cache import simulate_lru
+
+            def run(streams, geometry, cache):
+                misses = simulate_lru(streams, geometry).misses
+                return misses + cache.simulate_direct_mapped(streams)
+        """))
+        findings = scan_deprecated_calls([str(tmp_path)])
+        assert {(f.code, f.severity.value) for f in findings} == \
+            {("DEP002", "info")}
+        assert len(findings) == 2
+        messages = " ".join(f.message for f in findings)
+        assert "simulate_lru" in messages
+        assert "simulate_direct_mapped" in messages
+        hints = " ".join(f.hint or "" for f in findings)
+        assert "repro.sim" in hints
 
     def test_skips_shim_definitions(self, tmp_path):
         shim_dir = tmp_path / "harness"

@@ -282,8 +282,18 @@ class TestLint:
 
     def test_lint_reports_deprecated_callers(self, tmp_path):
         caller = tmp_path / "uses_old_api.py"
-        caller.write_text("def f(exp):\n    return exp.app_streams('all')\n")
+        caller.write_text(
+            "def f(exp, geometry):\n"
+            "    simulate_lru(exp.app_streams('all'), geometry)\n"
+        )
         code, text = run_cli("lint", "--combo", "base", "--scan", str(caller))
-        assert code == 0  # DEP001 is informational
+        assert code == 0  # non-strict runs always exit 0
         assert "DEP001" in text
         assert "app_streams" in text
+        assert "DEP002" in text
+        assert "simulate_lru" in text
+        # DEP001 now marks a *removed* API: strict mode fails on it.
+        code, _ = run_cli(
+            "lint", "--combo", "base", "--strict", "--scan", str(caller)
+        )
+        assert code == 1

@@ -1,10 +1,11 @@
 """End-to-end tests of the experiment harness (quick configuration)."""
 
-import numpy as np
 import pytest
 
+from repro.cache import CacheGeometry
+from repro.errors import RemovedAPIError
 from repro.harness import figures, quick_experiment
-from repro.cache import CacheGeometry, simulate_direct_mapped
+from repro.sim import classic
 
 
 @pytest.fixture(scope="module")
@@ -41,32 +42,20 @@ class TestPipelineProducts:
         assert exp.address_map("base") is exp.address_map("base")
 
     def test_app_streams_shapes(self, exp):
-        streams = exp.app_streams("base")
+        streams = exp.streams("base", scope="app")
         assert len(streams) == exp.config.system.cpus
         for starts, counts in streams:
             assert len(starts) == len(counts)
 
-    def test_combined_streams_include_kernel(self, exp):
-        from repro.osmodel import KERNEL_BASE
-
-        for starts, _counts in exp.combined_streams("base"):
-            assert (starts >= KERNEL_BASE).any()
-
-    def test_kernel_streams_all_kernel(self, exp):
-        from repro.osmodel import KERNEL_BASE
-
-        for starts, _counts in exp.kernel_streams():
-            assert (starts >= KERNEL_BASE).all()
-
     def test_optimization_reduces_misses(self, exp):
         geometry = CacheGeometry(32 * 1024, 128, 1)
         base = sum(
-            simulate_direct_mapped(s, c, geometry)
-            for s, c in exp.app_streams("base")
+            classic.direct_mapped_misses(s, c, geometry)
+            for s, c in exp.streams("base", scope="app")
         )
         optimized = sum(
-            simulate_direct_mapped(s, c, geometry)
-            for s, c in exp.app_streams("all")
+            classic.direct_mapped_misses(s, c, geometry)
+            for s, c in exp.streams("all", scope="app")
         )
         assert optimized < 0.7 * base
 
@@ -83,53 +72,19 @@ class TestStreamsApi:
         assert len(streams) == exp.config.system.cpus
         assert streams.instructions > 0
 
-    def test_streams_matches_deprecated_wrappers(self, exp):
-        from repro.harness.experiment import reset_deprecation_warnings
-
-        new = exp.streams("base", scope="app")
-        reset_deprecation_warnings()
-        with pytest.warns(DeprecationWarning):
-            old = exp.app_streams("base")
-        assert len(old) == len(new)
-        for (old_s, old_c), (new_s, new_c) in zip(old, new):
-            assert np.array_equal(old_s, new_s)
-            assert np.array_equal(old_c, new_c)
-
-    def test_all_deprecated_wrappers_warn(self, exp):
-        from repro.harness.experiment import reset_deprecation_warnings
-
-        reset_deprecation_warnings()
-        with pytest.warns(DeprecationWarning):
+    def test_removed_wrappers_raise_with_migration_hint(self, exp):
+        with pytest.raises(RemovedAPIError, match="streams\\('base', scope=\"app\"\\)"):
+            exp.app_streams("base")
+        with pytest.raises(RemovedAPIError, match="scope=\"kernel\""):
             exp.kernel_streams()
-        with pytest.warns(DeprecationWarning):
+        with pytest.raises(RemovedAPIError, match="scope=\"combined\""):
             exp.combined_streams("base")
-        with pytest.warns(DeprecationWarning):
+        with pytest.raises(RemovedAPIError, match="scope=\"per-process\""):
             exp.per_process_streams("base")
 
-    def test_deprecated_wrappers_warn_once_per_process(self, exp):
-        import warnings
-
-        from repro.harness.experiment import reset_deprecation_warnings
-
-        reset_deprecation_warnings()
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            exp.app_streams("base")
-            exp.app_streams("base")
-            exp.app_streams("base")
-        deprecations = [
-            w for w in caught if issubclass(w.category, DeprecationWarning)
-        ]
-        assert len(deprecations) == 1
-        # A different wrapper still gets its own (single) warning.
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            exp.kernel_streams()
-            exp.kernel_streams()
-        deprecations = [
-            w for w in caught if issubclass(w.category, DeprecationWarning)
-        ]
-        assert len(deprecations) == 1
+    def test_removed_wrappers_name_the_old_entry_point(self, exp):
+        with pytest.raises(RemovedAPIError, match="Experiment.app_streams"):
+            exp.app_streams("all")
 
     def test_combined_scope_includes_kernel(self, exp):
         from repro.osmodel import KERNEL_BASE

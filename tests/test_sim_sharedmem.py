@@ -1,0 +1,120 @@
+"""SharedStreams: shared-memory packing for worker fan-out."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.errors import SimulationError
+from repro.sim import SharedStreams
+
+
+def sample_streams():
+    rng = np.random.default_rng(3)
+    return [
+        (
+            (rng.integers(0, 1 << 16, size=n) * 4).astype(np.int64),
+            rng.integers(1, 30, size=n).astype(np.int64),
+        )
+        for n in (50, 0, 17)
+    ]
+
+
+class TestPack:
+    def test_round_trip(self):
+        streams = sample_streams()
+        packed = SharedStreams.pack(streams)
+        try:
+            assert len(packed) == len(streams)
+            for (starts, counts), (ps, pc) in zip(streams, packed):
+                assert np.array_equal(starts, ps)
+                assert np.array_equal(counts, pc)
+        finally:
+            packed.close()
+            packed.unlink()
+
+    def test_length_mismatch_rejected(self):
+        bad = [(np.zeros(3, np.int64), np.zeros(2, np.int64))]
+        with pytest.raises(SimulationError, match="lengths differ"):
+            SharedStreams.pack(bad)
+
+    def test_nbytes_covers_the_arrays(self):
+        streams = sample_streams()
+        packed = SharedStreams.pack(streams)
+        try:
+            words = sum(2 * len(s) for s, _ in streams)
+            assert packed.nbytes >= words * 8
+        finally:
+            packed.close()
+            packed.unlink()
+
+    def test_shared_bytes_counter_incremented(self):
+        before = obs.counter("sim.shared_bytes").value
+        packed = SharedStreams.pack(sample_streams())
+        try:
+            expected = sum(16 * len(s) for s, _ in sample_streams())
+            assert obs.counter("sim.shared_bytes").value == before + expected
+        finally:
+            packed.close()
+            packed.unlink()
+
+
+class TestAttach:
+    def test_attach_by_handle_sees_the_same_data(self):
+        streams = sample_streams()
+        packed = SharedStreams.pack(streams)
+        attached = None
+        try:
+            attached = SharedStreams.attach(packed.handle)
+            for (starts, counts), (ps, pc) in zip(streams, attached):
+                assert np.array_equal(starts, ps)
+                assert np.array_equal(counts, pc)
+        finally:
+            if attached is not None:
+                attached.close()
+            packed.close()
+            packed.unlink()
+
+    def test_handle_is_tiny_and_picklable(self):
+        import pickle
+
+        packed = SharedStreams.pack(sample_streams())
+        try:
+            blob = pickle.dumps(packed.handle)
+            assert len(blob) < 4096
+        finally:
+            packed.close()
+            packed.unlink()
+
+    def test_attached_side_never_unlinks(self):
+        packed = SharedStreams.pack(sample_streams())
+        try:
+            attached = SharedStreams.attach(packed.handle)
+            attached.unlink()  # must be a no-op: not the owner
+            attached.close()
+            # The block must still exist for a second attach.
+            again = SharedStreams.attach(packed.handle)
+            again.close()
+        finally:
+            packed.close()
+            packed.unlink()
+
+
+class TestLifecycle:
+    def test_close_is_idempotent(self):
+        packed = SharedStreams.pack(sample_streams())
+        packed.close()
+        packed.close()
+        packed.unlink()
+
+    def test_unlink_after_close_tolerated(self):
+        packed = SharedStreams.pack(sample_streams())
+        packed.close()
+        packed.unlink()
+        packed.unlink()
+
+    def test_close_with_live_views_does_not_raise(self):
+        packed = SharedStreams.pack(sample_streams())
+        starts, _counts = packed.stream(0)
+        packed.close()  # BufferError from the live view is swallowed
+        packed.unlink()
+        assert starts is not None

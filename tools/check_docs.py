@@ -30,7 +30,13 @@ from typing import List
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 #: Packages whose public surface must be fully docstringed.
-AUDITED_PACKAGES = ("repro.obs", "repro.online", "repro.harness", "repro.check")
+AUDITED_PACKAGES = (
+    "repro.obs",
+    "repro.online",
+    "repro.harness",
+    "repro.check",
+    "repro.sim",
+)
 
 #: Markdown files whose relative links must resolve.
 DOC_GLOBS = ("docs/*.md", "*.md")
