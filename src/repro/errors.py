@@ -65,3 +65,19 @@ class SimulationError(ReproError):
 class RemovedAPIError(ReproError):
     """A removed legacy entry point was called; the message carries the
     migration hint (the replacement API)."""
+
+
+class ParallelError(ReproError):
+    """A parallel fan-out failed structurally: a worker crashed or a
+    task exceeded the hard timeout.  The message names the offending
+    task index so sweeps can report which cell hung or died."""
+
+
+class ServeError(ReproError):
+    """Layout-service failure: protocol violation, unreachable server
+    with no fallback layout, or a served artifact failing the gate."""
+
+
+class ProtocolError(ServeError):
+    """A wire message violated the serve protocol (bad frame, unknown
+    type, version mismatch, or malformed payload)."""

@@ -11,14 +11,25 @@ prepared streams without re-deriving anything.
 When ``jobs <= 1``, ``fork`` is unavailable (e.g. Windows), or there is
 only one cell, the map degrades to a plain serial comprehension — the
 same function applied in the same order.
+
+With ``timeout`` set, the whole map must finish within that many
+seconds.  A hung worker (or one killed by the OS / ``os._exit``) no
+longer stalls the sweep forever: the pool's processes are terminated
+and a :class:`~repro.errors.ParallelError` naming the offending task
+index is raised instead.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, List, Optional, TypeVar
+
+from repro.errors import ParallelError
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -39,22 +50,95 @@ def fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down without waiting on stuck or dead workers.
+
+    ``shutdown(wait=True)`` would block on a hung worker, so the
+    worker processes are terminated first.  ``_processes`` is private
+    but stable across the supported CPython versions; an attribute
+    error degrades to a non-waiting shutdown.
+    """
+    try:
+        processes = list(getattr(pool, "_processes", {}).values())
+    except Exception:
+        processes = []
+    for process in processes:
+        try:
+            process.terminate()
+        except Exception:
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _mapped_with_deadline(
+    pool: ProcessPoolExecutor,
+    fn: Callable[[T], R],
+    work: List[T],
+    timeout: float,
+) -> List[R]:
+    """Submit every task, then collect in order against one deadline."""
+    futures = [pool.submit(fn, item) for item in work]
+    deadline = time.monotonic() + timeout
+    results: List[R] = []
+    for index, future in enumerate(futures):
+        remaining = deadline - time.monotonic()
+        try:
+            results.append(future.result(timeout=max(0.0, remaining)))
+        except FutureTimeoutError:
+            _kill_pool(pool)
+            raise ParallelError(
+                f"parallel_map task {index} did not finish within the "
+                f"{timeout:g}s hard timeout ({len(results)} of "
+                f"{len(work)} tasks completed); worker pool terminated"
+            ) from None
+        except BrokenProcessPool as exc:
+            _kill_pool(pool)
+            raise ParallelError(
+                f"parallel_map worker crashed while running task {index} "
+                f"(process killed or died without returning); "
+                f"{len(results)} of {len(work)} tasks completed"
+            ) from exc
+    return results
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Iterable[T],
     jobs: Optional[int] = None,
     chunksize: int = 1,
+    timeout: Optional[float] = None,
 ) -> List[R]:
     """Order-preserving map over independent items.
 
     ``fn`` must be a module-level (picklable) function.  Results are
     returned in input order regardless of completion order, so parallel
     runs reproduce serial output exactly.
+
+    ``timeout`` (seconds, parallel path only) bounds the whole map.
+    On expiry — or when a worker process dies mid-task — the pool is
+    terminated and :class:`~repro.errors.ParallelError` is raised
+    naming the first unfinished / crashed task index.
     """
     work = list(items)
     workers = min(resolve_jobs(jobs), len(work))
     if workers <= 1 or not fork_available():
         return [fn(item) for item in work]
     context = multiprocessing.get_context("fork")
-    with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
-        return list(pool.map(fn, work, chunksize=chunksize))
+    pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+    try:
+        if timeout is None:
+            try:
+                return list(pool.map(fn, work, chunksize=chunksize))
+            except BrokenProcessPool as exc:
+                _kill_pool(pool)
+                raise ParallelError(
+                    "parallel_map worker crashed (process killed or died "
+                    "without returning); rerun with timeout= to identify "
+                    "the offending task"
+                ) from exc
+        return _mapped_with_deadline(pool, fn, work, timeout)
+    finally:
+        # Normal completion: a regular shutdown (workers are idle).
+        # Error paths already terminated the workers, so this returns
+        # immediately instead of joining corpses.
+        pool.shutdown(wait=False, cancel_futures=True)

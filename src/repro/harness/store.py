@@ -33,8 +33,9 @@ import os
 import pathlib
 import pickle
 import shutil
+import uuid
 from dataclasses import dataclass
-from typing import Union
+from typing import Dict, Union
 
 import numpy as np
 
@@ -132,9 +133,9 @@ def load_profile(binary: Binary, path: PathLike) -> Profile:
     return profile
 
 
-def save_layout(layout: Layout, path: PathLike) -> None:
-    """Serialize a Layout to JSON."""
-    payload = {
+def layout_to_dict(layout: Layout) -> Dict:
+    """A Layout as a JSON-ready dict (the on-disk and wire shape)."""
+    return {
         "name": layout.name,
         "alignment": layout.alignment,
         "units": [
@@ -148,17 +149,14 @@ def save_layout(layout: Layout, path: PathLike) -> None:
             for unit in layout.units
         ],
     }
-    pathlib.Path(path).write_text(json.dumps(payload))
 
 
-def load_layout(path: PathLike, binary: Binary = None) -> Layout:
-    """Load a Layout written by :func:`save_layout`.
+def layout_from_dict(payload: Dict, binary: Binary = None) -> Layout:
+    """Rebuild a Layout from :func:`layout_to_dict` output.
 
     When ``binary`` is given the layout is validated against it; a
-    layout for a different generated binary raises ``LayoutError``
-    (which cache readers treat as a miss).
+    layout for a different generated binary raises ``LayoutError``.
     """
-    payload = json.loads(pathlib.Path(path).read_text())
     layout = Layout(
         units=[
             CodeUnit(
@@ -176,6 +174,22 @@ def load_layout(path: PathLike, binary: Binary = None) -> Layout:
     if binary is not None:
         layout.validate_against(binary)
     return layout
+
+
+def save_layout(layout: Layout, path: PathLike) -> None:
+    """Serialize a Layout to JSON."""
+    pathlib.Path(path).write_text(json.dumps(layout_to_dict(layout)))
+
+
+def load_layout(path: PathLike, binary: Binary = None) -> Layout:
+    """Load a Layout written by :func:`save_layout`.
+
+    When ``binary`` is given the layout is validated against it; a
+    layout for a different generated binary raises ``LayoutError``
+    (which cache readers treat as a miss).
+    """
+    payload = json.loads(pathlib.Path(path).read_text())
+    return layout_from_dict(payload, binary)
 
 
 def save_program(program, path: PathLike) -> None:
@@ -269,17 +283,33 @@ class ArtifactStore:
     def save(self, fingerprint: str, name: str, obj, saver) -> int:
         """Persist one artifact through ``saver(obj, path)``.
 
+        The write is **atomic**: the saver writes a same-directory
+        temporary file which is then ``os.replace``d over the final
+        path.  Readers (and the server's persistent cache tier) never
+        observe a torn artifact, and concurrent writers of the same
+        key each land a complete file — last replace wins.
+
         Returns bytes written (0 when the write failed, e.g. on a
         read-only cache directory).  Writes and bytes feed the
         ``store.*`` metrics.
         """
+        path = self.path(fingerprint, name)
+        # The temp name *ends with* the real name so suffix-sniffing
+        # savers (np.savez appends ".npz" to unsuffixed paths) behave
+        # identically on the temporary file.
+        tmp = path.with_name(
+            f".tmp-{os.getpid()}-{uuid.uuid4().hex[:8]}-{path.name}"
+        )
         try:
-            path = self.prepare(fingerprint, name)
-            saver(obj, path)
-            size = path.stat().st_size
+            path.parent.mkdir(parents=True, exist_ok=True)
+            saver(obj, tmp)
+            size = tmp.stat().st_size
+            os.replace(tmp, path)
         except OSError as exc:  # read-only cache dir etc.
             LOGGER.warning("cannot persist %s (%s); continuing uncached", name, exc)
             return 0
+        finally:
+            tmp.unlink(missing_ok=True)
         obs.counter("store.writes").inc()
         obs.counter("store.bytes_written").inc(size)
         return size

@@ -185,9 +185,6 @@ class AdaptiveRelayout:
     def _save(self, fingerprint: str, name: str, layout: Layout) -> int:
         if self.store is None:
             return 0
-        try:
-            path = self.store.prepare(fingerprint, name)
-            save_layout(layout, path)
-            return path.stat().st_size
-        except OSError:  # read-only cache dir etc.
-            return 0
+        # store.save is atomic (temp + os.replace) and absorbs OSError
+        # (read-only cache dir etc.) by returning 0.
+        return self.store.save(fingerprint, name, layout, save_layout)

@@ -1,0 +1,144 @@
+"""Two-tier layout cache: in-memory LRU over the persistent store.
+
+The server answers most traffic from here.  Tier 1 is a bounded
+in-process LRU of finished layout documents keyed by ``(profile
+fingerprint, combo)``; tier 2 is the content-addressed
+:class:`~repro.harness.store.ArtifactStore` the offline pipeline
+already uses (entries named ``serve-layout-<combo>.json`` under the
+profile fingerprint), so layouts survive server restarts and are
+shared with :class:`~repro.online.relayout.AdaptiveRelayout` runs on
+the same cache directory.
+
+Every lookup lands in the ``serve.cache_*`` counters: ``cache_hits``
+(memory), ``cache_disk_hits`` (promoted from disk), ``cache_misses``,
+and ``cache_evictions``.  Disk-tier writes go through the store's
+atomic ``save`` so a torn artifact can never be served.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro import obs
+from repro.harness.store import ArtifactStore, load_layout, save_layout
+from repro.harness.store import layout_from_dict, layout_to_dict
+
+#: Default number of layout documents the memory tier holds.
+DEFAULT_MEMORY_ENTRIES = 128
+
+
+@dataclass
+class CacheStats:
+    """Counter snapshot for reports and the health endpoint."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    entries: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        """JSON-ready view."""
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": self.entries,
+        }
+
+
+class LayoutCache:
+    """Thread-safe (fingerprint, combo) -> layout-document cache.
+
+    Values are the JSON-ready dicts of
+    :func:`repro.harness.store.layout_to_dict` — exactly what goes on
+    the wire — so a hit serves with zero conversion work.
+    """
+
+    def __init__(
+        self,
+        store: Optional[ArtifactStore] = None,
+        memory_entries: int = DEFAULT_MEMORY_ENTRIES,
+    ) -> None:
+        self.store = store
+        self.memory_entries = max(1, memory_entries)
+        self._memory: "OrderedDict[Tuple[str, str], Dict]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._stats = CacheStats()
+
+    @staticmethod
+    def _artifact(combo: str) -> str:
+        return f"serve-layout-{combo}.json"
+
+    def get(self, fingerprint: str, combo: str) -> Tuple[Optional[Dict], str]:
+        """Look one layout up; returns ``(document, tier)``.
+
+        ``tier`` is ``"memory"``, ``"disk"``, or ``""`` on a miss.  A
+        disk hit is promoted into the memory tier.
+        """
+        key = (fingerprint, combo)
+        with self._lock:
+            document = self._memory.get(key)
+            if document is not None:
+                self._memory.move_to_end(key)
+                self._stats.memory_hits += 1
+                obs.counter("serve.cache_hits").inc()
+                return document, "memory"
+        if self.store is not None:
+            layout = self.store.load(
+                fingerprint, self._artifact(combo), load_layout
+            )
+            if layout is not None:
+                document = layout_to_dict(layout)
+                self._insert(key, document)
+                with self._lock:
+                    self._stats.disk_hits += 1
+                obs.counter("serve.cache_disk_hits").inc()
+                return document, "disk"
+        with self._lock:
+            self._stats.misses += 1
+        obs.counter("serve.cache_misses").inc()
+        return None, ""
+
+    def put(self, fingerprint: str, combo: str, document: Dict) -> None:
+        """Install one finished (already gated) layout document.
+
+        The memory tier is updated synchronously; the disk tier write
+        is atomic and best-effort (a read-only store degrades to
+        memory-only caching).
+        """
+        self._insert((fingerprint, combo), document)
+        if self.store is not None:
+            self.store.save(
+                fingerprint,
+                self._artifact(combo),
+                layout_from_dict(document),
+                save_layout,
+            )
+
+    def _insert(self, key: Tuple[str, str], document: Dict) -> None:
+        with self._lock:
+            self._memory[key] = document
+            self._memory.move_to_end(key)
+            while len(self._memory) > self.memory_entries:
+                self._memory.popitem(last=False)
+                self._stats.evictions += 1
+                obs.counter("serve.cache_evictions").inc()
+
+    def stats(self) -> CacheStats:
+        """A point-in-time copy of the cache counters."""
+        with self._lock:
+            return CacheStats(
+                memory_hits=self._stats.memory_hits,
+                disk_hits=self._stats.disk_hits,
+                misses=self._stats.misses,
+                evictions=self._stats.evictions,
+                entries=len(self._memory),
+            )
+
+    def __len__(self) -> int:
+        return len(self._memory)

@@ -153,7 +153,7 @@ class TestDeprecationScan:
         """))
         findings = scan_deprecated_calls([str(tmp_path)])
         assert {(f.code, f.severity.value) for f in findings} == \
-            {("DEP002", "info")}
+            {("DEP002", "warn")}
         assert len(findings) == 2
         messages = " ".join(f.message for f in findings)
         assert "simulate_lru" in messages

@@ -1,0 +1,83 @@
+"""Two-tier layout-cache behaviour: LRU, disk promotion, persistence."""
+
+import pytest
+
+from repro.harness.store import ArtifactStore, layout_to_dict
+from repro.layout import SpikeOptimizer
+from repro.serve.cache import LayoutCache
+
+
+@pytest.fixture(scope="module")
+def documents(serve_env):
+    """Layout documents for both profiles, keyed by fingerprint."""
+    binary, profiles = serve_env
+    return {
+        profile.fingerprint(): layout_to_dict(
+            SpikeOptimizer(binary, profile).layout("all")
+        )
+        for profile in profiles
+    }
+
+
+def test_memory_tier_round_trip(documents):
+    cache = LayoutCache()
+    fp, doc = next(iter(documents.items()))
+    assert cache.get(fp, "all") == (None, "")
+    cache.put(fp, "all", doc)
+    got, tier = cache.get(fp, "all")
+    assert tier == "memory"
+    assert got == doc
+    stats = cache.stats()
+    assert stats.memory_hits == 1
+    assert stats.misses == 1
+    assert stats.entries == len(cache) == 1
+
+
+def test_lru_eviction_order(documents):
+    cache = LayoutCache(memory_entries=2)
+    fp, doc = next(iter(documents.items()))
+    cache.put(fp, "base", doc)
+    cache.put(fp, "hotcold", doc)
+    # Touch "base" so "hotcold" becomes the least recently used entry.
+    assert cache.get(fp, "base")[1] == "memory"
+    cache.put(fp, "all", doc)
+    assert len(cache) == 2
+    assert cache.get(fp, "hotcold") == (None, "")
+    assert cache.get(fp, "base")[1] == "memory"
+    assert cache.get(fp, "all")[1] == "memory"
+    assert cache.stats().evictions == 1
+
+
+def test_disk_tier_promotes_to_memory(documents, tmp_path):
+    store = ArtifactStore(tmp_path)
+    fp, doc = next(iter(documents.items()))
+    LayoutCache(store).put(fp, "all", doc)
+    assert store.has(fp, "serve-layout-all.json")
+
+    # A fresh cache (fresh process, conceptually) hits the disk tier...
+    reborn = LayoutCache(store)
+    got, tier = reborn.get(fp, "all")
+    assert tier == "disk"
+    assert got == doc
+    # ...and the hit is promoted into the memory tier.
+    assert reborn.get(fp, "all")[1] == "memory"
+    stats = reborn.stats()
+    assert stats.disk_hits == 1 and stats.memory_hits == 1
+
+
+def test_distinct_fingerprints_do_not_collide(documents, tmp_path):
+    cache = LayoutCache(ArtifactStore(tmp_path))
+    (fp_a, doc_a), (fp_b, doc_b) = documents.items()
+    cache.put(fp_a, "all", doc_a)
+    cache.put(fp_b, "all", doc_b)
+    assert cache.get(fp_a, "all")[0] == doc_a
+    assert cache.get(fp_b, "all")[0] == doc_b
+
+
+def test_read_only_store_degrades_to_memory(documents, tmp_path):
+    target = tmp_path / "ro"
+    target.mkdir(mode=0o500)
+    cache = LayoutCache(ArtifactStore(target))
+    fp, doc = next(iter(documents.items()))
+    cache.put(fp, "all", doc)  # disk write fails quietly
+    assert cache.get(fp, "all")[1] == "memory"

@@ -1,0 +1,117 @@
+"""Fleet acceptance: healthy coalescing, degraded-mode survival."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.harness.experiment import Experiment
+from repro.online import phased_experiment_config
+from repro.serve.fleet import FleetConfig, run_fleet
+
+
+@pytest.fixture(scope="module")
+def exp():
+    experiment = Experiment(phased_experiment_config())
+    _ = experiment.trace
+    return experiment
+
+
+@pytest.fixture(scope="module")
+def healthy(exp):
+    # No artifact store: the coalescing numbers must come from the
+    # single-flight path, not a disk tier warmed by another test.
+    return run_fleet(exp, FleetConfig(clients=4, epochs=2))
+
+
+@pytest.fixture(scope="module")
+def degraded(exp):
+    return run_fleet(
+        exp, FleetConfig(clients=3, epochs=3, kill_after=1)
+    )
+
+
+class TestConfigValidation:
+    def test_rejects_zero_clients(self):
+        with pytest.raises(ConfigError, match="client"):
+            FleetConfig(clients=0)
+
+    def test_rejects_kill_after_out_of_range(self):
+        with pytest.raises(ConfigError, match="kill_after"):
+            FleetConfig(epochs=3, kill_after=3)
+        with pytest.raises(ConfigError, match="kill_after"):
+            FleetConfig(epochs=3, kill_after=0)
+
+    def test_kill_after_requires_owned_server(self, exp):
+        with pytest.raises(ConfigError, match="driver-owned"):
+            run_fleet(
+                exp,
+                FleetConfig(epochs=2, kill_after=1),
+                address=("127.0.0.1", 1),
+            )
+
+
+class TestHealthyScenario:
+    def test_passes_the_acceptance_gate(self, healthy):
+        assert healthy.passes(), healthy.render()
+        assert not healthy.unhandled_errors
+
+    def test_every_request_served_and_gated(self, healthy):
+        assert healthy.requests == 4 * 2
+        for epoch in healthy.epochs:
+            assert not epoch.degraded
+            assert epoch.served == epoch.requests == 4
+            assert epoch.failures == 0
+            assert epoch.gate_ok
+            assert epoch.instructions > 0
+            assert math.isfinite(epoch.served_mpki)
+
+    def test_coalescing_bounds_server_work(self, healthy):
+        # Barrier-synchronized identical requests: one build per epoch,
+        # everyone else coalesces (<= 8 optimizations is the ISSUE bar;
+        # one per distinct profile is the expected value).
+        assert 1 <= healthy.optimizations <= 8
+        saved = healthy.coalesced + healthy.cache_hits
+        assert saved >= healthy.requests - healthy.optimizations
+        assert healthy.counters.get("serve.requests", 0) >= healthy.requests
+
+    def test_served_layout_tracks_fresh_build(self, healthy):
+        # The server optimizes the exact submitted profile, so the
+        # served MPKI matches a fleet-side fresh build of the epoch.
+        for epoch in healthy.epochs:
+            assert epoch.decay == pytest.approx(1.0, rel=0.05)
+
+
+class TestDegradedScenario:
+    def test_passes_the_acceptance_gate(self, degraded):
+        assert degraded.passes(), degraded.render()
+
+    def test_no_unhandled_exceptions(self, degraded):
+        assert degraded.unhandled_errors == []
+        for epoch in degraded.epochs:
+            assert epoch.failures == 0
+
+    def test_post_kill_epochs_run_on_fallbacks(self, degraded):
+        assert [e.degraded for e in degraded.epochs] == [False, True, True]
+        for epoch in degraded.degraded_epochs:
+            assert epoch.fallbacks == epoch.served == 3
+            assert epoch.sources == {"fallback": 3}
+            assert epoch.gate_ok
+
+    def test_decay_is_reported_and_bounded(self, degraded):
+        # Degraded epochs run drifted traffic on a stale layout: the
+        # decay must be measured (>= 1) and bounded by the gate.
+        assert degraded.decay_ratio >= 0.99
+        assert degraded.decay_ratio <= 3.0
+        for epoch in degraded.degraded_epochs:
+            assert math.isfinite(epoch.decay)
+
+    def test_report_serializes(self, degraded):
+        payload = degraded.to_dict()
+        assert payload["passes"] is True
+        assert payload["fallbacks"] == 6
+        assert len(payload["epochs"]) == 3
+        assert payload["decay_ratio"] >= 1.0
+        rendered = degraded.render()
+        assert "degraded" in rendered
+        assert "PASS" in rendered

@@ -1,0 +1,175 @@
+"""Wire-protocol round trips and violation handling for repro.serve."""
+
+import io
+import json
+import struct
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    MESSAGE_TYPES,
+    PROTOCOL_VERSION,
+    STATUS_OK,
+    ErrorResponse,
+    HealthRequest,
+    HealthResponse,
+    LayoutRequest,
+    LayoutResponse,
+    ProfileSubmit,
+    SubmitAck,
+    decode_body,
+    encode_message,
+    read_message_sync,
+)
+
+
+def roundtrip(message):
+    frame = encode_message(message)
+    (length,) = struct.unpack("!I", frame[:4])
+    assert length == len(frame) - 4
+    assert frame[4:].endswith(b"\n")
+    return decode_body(frame[4:])
+
+
+class TestRoundTrips:
+    def test_every_message_type_round_trips(self):
+        messages = [
+            ProfileSubmit(
+                binary="app",
+                fingerprint="abc123",
+                block_counts=[1, 0, 7],
+                edges=[[0, 2, 5]],
+            ),
+            SubmitAck(fingerprint="abc123", known=True),
+            LayoutRequest(fingerprint="abc123", combo="hotcold"),
+            LayoutResponse(
+                status=STATUS_OK,
+                fingerprint="abc123",
+                combo="all",
+                source="built",
+                layout={"name": "l", "alignment": 16, "units": []},
+                queue_wait_ms=1.5,
+            ),
+            HealthRequest(),
+            HealthResponse(
+                status="ok",
+                uptime_s=2.0,
+                inflight=1,
+                profiles=3,
+                counters={"serve.requests": 4},
+            ),
+            ErrorResponse(message="nope"),
+        ]
+        assert {m.TYPE for m in messages} == set(MESSAGE_TYPES)
+        for message in messages:
+            assert roundtrip(message) == message
+
+    def test_frame_is_jsonl(self):
+        frame = encode_message(HealthRequest())
+        envelope = json.loads(frame[4:].decode())
+        assert envelope["v"] == PROTOCOL_VERSION
+        assert envelope["type"] == "health"
+
+    def test_layout_response_ok_property(self):
+        assert LayoutResponse(status=STATUS_OK, layout={"units": []}).ok
+        assert not LayoutResponse(status=STATUS_OK, layout=None).ok
+        assert not LayoutResponse(status="error", layout={"units": []}).ok
+
+    def test_layout_request_defaults_combo(self):
+        parsed = decode_body(
+            json.dumps(
+                {
+                    "v": PROTOCOL_VERSION,
+                    "type": "layout_request",
+                    "payload": {"fingerprint": "f"},
+                }
+            ).encode()
+        )
+        assert parsed.combo == "all"
+
+
+class TestViolations:
+    def test_malformed_json(self):
+        with pytest.raises(ProtocolError, match="malformed frame body"):
+            decode_body(b"{not json\n")
+
+    def test_non_object_envelope(self):
+        with pytest.raises(ProtocolError, match="expected an envelope"):
+            decode_body(b"[1,2,3]\n")
+
+    def test_version_mismatch(self):
+        body = json.dumps({"v": 99, "type": "health", "payload": {}}).encode()
+        with pytest.raises(ProtocolError, match="version mismatch"):
+            decode_body(body)
+
+    def test_unknown_type(self):
+        body = json.dumps(
+            {"v": PROTOCOL_VERSION, "type": "surprise", "payload": {}}
+        ).encode()
+        with pytest.raises(ProtocolError, match="unknown message type"):
+            decode_body(body)
+
+    def test_malformed_payload(self):
+        body = json.dumps(
+            {"v": PROTOCOL_VERSION, "type": "profile_submit", "payload": {}}
+        ).encode()
+        with pytest.raises(ProtocolError, match="malformed"):
+            decode_body(body)
+
+
+class TestSyncReader:
+    def test_reads_consecutive_frames_then_clean_eof(self):
+        stream = io.BytesIO(
+            encode_message(HealthRequest())
+            + encode_message(SubmitAck(fingerprint="f", known=False))
+        )
+        assert isinstance(read_message_sync(stream), HealthRequest)
+        assert isinstance(read_message_sync(stream), SubmitAck)
+        assert read_message_sync(stream) is None
+
+    def test_truncated_header(self):
+        with pytest.raises(ProtocolError, match="frame bytes"):
+            read_message_sync(io.BytesIO(b"\x00\x00"))
+
+    def test_truncated_body(self):
+        frame = encode_message(HealthRequest())
+        with pytest.raises(ProtocolError, match="connection closed"):
+            read_message_sync(io.BytesIO(frame[:-2]))
+
+    def test_zero_length_frame_rejected(self):
+        with pytest.raises(ProtocolError, match="invalid frame length"):
+            read_message_sync(io.BytesIO(struct.pack("!I", 0) + b"x"))
+
+    def test_oversized_frame_rejected(self):
+        header = struct.pack("!I", MAX_FRAME_BYTES + 1)
+        with pytest.raises(ProtocolError, match="invalid frame length"):
+            read_message_sync(io.BytesIO(header))
+
+
+class TestProfileSubmit:
+    def test_profile_round_trip(self, serve_env):
+        binary, (profile, _) = serve_env
+        submit = ProfileSubmit.from_profile(profile)
+        assert submit.binary == binary.name
+        assert submit.fingerprint == profile.fingerprint()
+        rebuilt = roundtrip(submit).to_profile(binary)
+        assert rebuilt.fingerprint() == profile.fingerprint()
+        assert np.array_equal(rebuilt.block_counts, profile.block_counts)
+
+    def test_wrong_binary_name_refused(self, serve_env):
+        _, (profile, _) = serve_env
+        submit = ProfileSubmit.from_profile(profile)
+        submit.binary = "someone-else"
+        binary, _ = serve_env
+        with pytest.raises(ProtocolError, match="different binary|server optimizes"):
+            submit.to_profile(binary)
+
+    def test_wrong_block_count_refused(self, serve_env):
+        binary, (profile, _) = serve_env
+        submit = ProfileSubmit.from_profile(profile)
+        submit.block_counts = submit.block_counts[:-1]
+        with pytest.raises(ProtocolError, match="blocks"):
+            submit.to_profile(binary)

@@ -36,6 +36,7 @@ AUDITED_PACKAGES = (
     "repro.harness",
     "repro.check",
     "repro.sim",
+    "repro.serve",
 )
 
 #: Markdown files whose relative links must resolve.
