@@ -14,6 +14,9 @@ Commands:
   ingestion, request coalescing, tiered layout cache, check gate.
 * ``fleet``    -- simulate N client nodes against the service
   (healthy and degraded scenarios, with acceptance gates).
+* ``scenarios`` -- the declarative scenario matrix: ``list`` the cells,
+  ``run`` the resumable cross-workload sweep, ``report`` the saved
+  cross-scenario Markdown report.
 * ``cache``    -- inspect (``info``) or wipe (``clear``) the artifact cache.
 * ``summary``  -- concatenate saved benchmark result tables.
 * ``report``   -- render one Markdown/HTML run report from a results
@@ -326,6 +329,73 @@ def _build_parser() -> argparse.ArgumentParser:
         "--check", action="store_true",
         help="run the healthy AND degraded scenarios and exit 1 unless "
         "both pass the acceptance gates",
+    )
+
+    scenarios = sub.add_parser(
+        "scenarios",
+        help="declarative scenario matrix (workload x hierarchy x combo "
+        "x drift x engine)",
+        description="Run the paper's evaluation as data: list the "
+        "scenario cells, execute the resumable matrix sweep, or "
+        "re-render the cross-scenario report from a saved "
+        "BENCH_scenarios.json.  See docs/SCENARIOS.md.",
+    )
+    scsub = scenarios.add_subparsers(dest="scenarios_command", required=True)
+    sc_list = scsub.add_parser(
+        "list", help="show the matrix cells and their fingerprints",
+        parents=[shared],
+    )
+    sc_run = scsub.add_parser(
+        "run", help="run (or resume) the scenario matrix",
+        parents=[shared],
+    )
+    for leaf in (sc_list, sc_run):
+        leaf.add_argument(
+            "--matrix", default=None, metavar="FILE",
+            help="load scenarios from a .toml/.json matrix file instead "
+            "of the built-in default matrix",
+        )
+        leaf.add_argument(
+            "--select", action="extend", nargs="+", default=None,
+            metavar="GLOB",
+            help="only cells whose name matches GLOB (repeatable, takes "
+            "several patterns; a pattern matching nothing is an error)",
+        )
+    sc_run.add_argument(
+        "--fresh", action="store_true",
+        help="ignore previously completed cells and recompute everything",
+    )
+    sc_run.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the repro.check gate on each cell's optimized layout",
+    )
+    sc_run.add_argument(
+        "--save-json", default=None, metavar="DIR",
+        help="write the matrix as BENCH_scenarios.json under DIR "
+        "(compare runs with 'bench-diff')",
+    )
+    sc_run.add_argument(
+        "--report", default=None, metavar="PATH", dest="report_path",
+        help="also write the cross-scenario Markdown report to PATH",
+    )
+    sc_run.add_argument(
+        "--check", action="store_true",
+        help="exit 1 unless every cell passes its gate and the OLTP/DSS "
+        "sensitivity ordering holds",
+    )
+    sc_report = scsub.add_parser(
+        "report",
+        help="render the cross-scenario Markdown report from a saved "
+        "BENCH_scenarios.json",
+    )
+    sc_report.add_argument(
+        "results_dir", nargs="?", default="benchmarks/results",
+        help="directory holding BENCH_scenarios.json "
+        "(default benchmarks/results)",
+    )
+    sc_report.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the report to PATH instead of stdout",
     )
 
     cache = sub.add_parser(
@@ -985,6 +1055,86 @@ def _cmd_lint(args, out) -> int:
     return 0
 
 
+def _cmd_scenarios(args, out) -> int:
+    import json as _json
+    import pathlib
+
+    from repro import scenarios as scn
+    from repro.errors import ScenarioError
+
+    if args.scenarios_command == "report":
+        path = pathlib.Path(args.results_dir) / "BENCH_scenarios.json"
+        if not path.is_file():
+            sys.stderr.write(
+                f"no {path} -- run 'repro scenarios run --save-json "
+                f"{args.results_dir}' first\n"
+            )
+            return 2
+        text = scn.render_scenarios_report(_json.loads(path.read_text()))
+        if args.out:
+            pathlib.Path(args.out).write_text(text)
+            out.write(f"wrote {args.out}\n")
+        else:
+            out.write(text)
+        return 0
+
+    try:
+        if args.matrix:
+            specs = scn.load_specs(args.matrix)
+        else:
+            specs = scn.default_matrix(quick=not args.full)
+        if args.select:
+            specs = scn.select_specs(specs, args.select)
+
+        if args.scenarios_command == "list":
+            from repro.harness.figures import Table
+
+            table = Table(
+                title="Scenario matrix cells",
+                columns=["scenario", "workload", "hierarchy", "combo",
+                         "drift", "engine", "scope", "fingerprint"],
+                rows=[
+                    [s.name, s.workload.family, s.hierarchy.label, s.combo,
+                     s.drift, s.engine, s.scope, s.fingerprint()]
+                    for s in specs
+                ],
+                notes=["source: " + (args.matrix or "built-in default matrix")],
+            )
+            out.write(table.render() + "\n")
+            return 0
+
+        store = None if args.no_cache else _store(args)
+        result = scn.run_matrix(
+            specs,
+            store=store,
+            jobs=args.jobs,
+            fresh=args.fresh,
+            verify=not args.no_verify,
+        )
+    except ScenarioError as exc:
+        sys.stderr.write(f"scenarios: {exc}\n")
+        return 2
+    out.write(result.render() + "\n")
+    if args.save_json:
+        from repro.harness import write_benchmark_json
+
+        write_benchmark_json("scenarios", result.to_document(), args.save_json)
+    if args.report_path:
+        pathlib.Path(args.report_path).write_text(
+            scn.render_scenarios_report(result.to_document())
+        )
+        out.write(f"wrote {args.report_path}\n")
+    if args.check and not result.passes():
+        sys.stderr.write(
+            "scenarios check FAILED: "
+            f"{len(result.failed)} failed cell(s), "
+            f"gates {'ok' if all(c.gate_ok for c in result.cells) else 'VIOLATED'}, "
+            f"ordering {'ok' if result.ordering_ok() else 'VIOLATED'}\n"
+        )
+        return 1
+    return 0
+
+
 def _cmd_trace_export(args, out) -> int:
     from repro.obs.chrome import export_chrome_trace
 
@@ -1011,6 +1161,7 @@ def main(argv=None, out=None) -> int:
         "online": _cmd_online,
         "serve": _cmd_serve,
         "fleet": _cmd_fleet,
+        "scenarios": _cmd_scenarios,
         "cache": _cmd_cache,
         "summary": _cmd_summary,
         "report": _cmd_report,

@@ -73,6 +73,12 @@ class ParallelError(ReproError):
     task index so sweeps can report which cell hung or died."""
 
 
+class ScenarioError(ReproError):
+    """A scenario specification is invalid (unknown workload kind,
+    incompatible engine/hierarchy pair, malformed matrix file) or a
+    matrix run was asked for something it cannot do."""
+
+
 class ServeError(ReproError):
     """Layout-service failure: protocol violation, unreachable server
     with no fallback layout, or a served artifact failing the gate."""

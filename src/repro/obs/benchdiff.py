@@ -24,7 +24,16 @@ from typing import Dict, List, Optional, Union
 PathLike = Union[str, pathlib.Path]
 
 #: Column-name fragments marking quantities where *higher* is better.
-HIGHER_IS_BETTER = ("captured", "hit", "coverage", "speedup", "reuse", "ratio_ok")
+HIGHER_IS_BETTER = (
+    "captured",
+    "hit",
+    "coverage",
+    "speedup",
+    "reuse",
+    "ratio_ok",
+    "recovered",
+    "gate_ok",
+)
 
 
 @dataclass

@@ -1,0 +1,63 @@
+"""Declarative scenario matrix over the layout-optimization pipeline.
+
+The paper's evaluation is a hand-run matrix: workloads (TPC-B, DSS)
+crossed with cache geometries and layout combinations.  This package
+turns that matrix into data:
+
+* :mod:`repro.scenarios.spec` — :class:`ScenarioSpec`, the declarative
+  cell (workload x hierarchy x combo x drift x engine), with a
+  validated registry, TOML/JSON matrix files, and fingerprints that
+  plug into the artifact-store pipeline cache.
+* :mod:`repro.scenarios.synth` — the seeded synthetic OLTP workload
+  generator (Markov op mixes, hot-set skew, loop depth, phase
+  schedules), a first-class workload next to TPC-B/DSS.
+* :mod:`repro.scenarios.matrix` — the resumable matrix runner:
+  crash-safe per-cell persistence, ``repro.check`` gating, and the
+  ``BENCH_scenarios`` document.
+* :mod:`repro.scenarios.report` — the cross-scenario Markdown report
+  (per-cell recovery, family sensitivity ranking, paper verdict).
+
+See ``docs/SCENARIOS.md`` for the user guide and matrix-file schema.
+"""
+
+from repro.scenarios.matrix import CellResult, MatrixResult, run_matrix
+from repro.scenarios.report import render_scenarios_report
+from repro.scenarios.spec import (
+    HierarchySpec,
+    ScenarioSpec,
+    WorkloadSpec,
+    default_matrix,
+    load_specs,
+    register,
+    registered,
+    registry_names,
+    select_specs,
+)
+from repro.scenarios.synth import (
+    MIX_PRESETS,
+    OP_KINDS,
+    SynthPhase,
+    SyntheticConfig,
+    SyntheticWorkload,
+)
+
+__all__ = [
+    "MIX_PRESETS",
+    "OP_KINDS",
+    "CellResult",
+    "HierarchySpec",
+    "MatrixResult",
+    "ScenarioSpec",
+    "SynthPhase",
+    "SyntheticConfig",
+    "SyntheticWorkload",
+    "WorkloadSpec",
+    "default_matrix",
+    "load_specs",
+    "register",
+    "registered",
+    "registry_names",
+    "render_scenarios_report",
+    "run_matrix",
+    "select_specs",
+]

@@ -1,0 +1,112 @@
+"""Cross-scenario Markdown report.
+
+:func:`render_scenarios_report` turns a ``BENCH_scenarios`` document
+(the dict from :meth:`~repro.scenarios.matrix.MatrixResult.to_document`
+or the JSON loaded back from disk — same shape) into the Markdown
+report the paper's evaluation section corresponds to: a per-cell MPKI
+recovery table, the workload-family sensitivity ranking, and the
+OLTP-vs-DSS verdict line.
+
+Rendering from the *document* rather than live objects is deliberate:
+``repro scenarios report DIR`` regenerates the report from a saved
+``BENCH_scenarios.json`` without re-running anything, and the golden
+test pins the exact output byte for byte.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def _markdown_table(columns: Sequence[str], rows: Sequence[Sequence]) -> List[str]:
+    lines = [
+        "| " + " | ".join(str(c) for c in columns) + " |",
+        "|" + "|".join(" --- " for _ in columns) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(str(v) for v in row) + " |")
+    return lines
+
+
+def render_scenarios_report(document: Dict) -> str:
+    """The cross-scenario Markdown report for one matrix document."""
+    cells = document.get("cells", [])
+    families = document.get("families", [])
+    failed = [c for c in cells if c.get("status") == "failed"]
+    lines: List[str] = ["# Scenario matrix report", ""]
+    run = document.get("run", {})
+    if run.get("id"):
+        lines.append(f"Run `{run['id']}` at {run.get('timestamp', '?')}.")
+        lines.append("")
+    lines.append(
+        f"{len(cells)} cells: "
+        f"{sum(1 for c in cells if c.get('status') == 'simulated')} "
+        f"simulated, "
+        f"{sum(1 for c in cells if c.get('status') == 'cached')} resumed "
+        f"from cache, {len(failed)} failed."
+    )
+    lines.append("")
+
+    lines.append("## Per-cell MPKI recovery")
+    lines.append("")
+    rows = [
+        [
+            c["name"], c["family"], c["hierarchy"], c["engine"], c["drift"],
+            f"{c['base_mpki']:.3f}", f"{c['opt_mpki']:.3f}",
+            f"{c['recovery_pct']:.1f}",
+            "yes" if c.get("gate_ok") else "NO",
+        ]
+        for c in cells
+        if c.get("status") != "failed"
+    ]
+    lines.extend(_markdown_table(
+        ["scenario", "family", "hierarchy", "engine", "drift",
+         "base MPKI", "opt MPKI", "recovered %", "gate"],
+        rows,
+    ))
+    lines.append("")
+
+    if failed:
+        lines.append("## Failed cells")
+        lines.append("")
+        for cell in failed:
+            lines.append(f"- `{cell['name']}`: {cell.get('error', '?')}")
+        lines.append("")
+
+    lines.append("## Workload-family sensitivity")
+    lines.append("")
+    lines.append(
+        "Mean L1I MPKI recovered by the full optimization combo, per "
+        "workload family (drifted cells excluded), most "
+        "layout-sensitive first:"
+    )
+    lines.append("")
+    lines.extend(_markdown_table(
+        ["rank", "family", "recovered MPKI", "recovered %", "cells"],
+        [
+            [rank, f["family"], f"{f['mean_recovered_mpki']:.2f}",
+             f"{f['mean_recovery_pct']:.1f}", f["cells"]]
+            for rank, f in enumerate(families, start=1)
+        ],
+    ))
+    lines.append("")
+
+    means = {f["family"]: f["mean_recovered_mpki"] for f in families}
+    if "oltp" in means and "dss" in means:
+        if document.get("ordering_ok", means["oltp"] > means["dss"]):
+            lines.append(
+                f"**Verdict:** consistent with the paper — layout "
+                f"optimization recovers {means['oltp']:.2f} MPKI on OLTP "
+                f"vs {means['dss']:.2f} MPKI on DSS; the sprawling OLTP "
+                "instruction footprint is where code layout matters, "
+                "while loop-bound DSS code is comparatively insensitive."
+            )
+        else:
+            lines.append(
+                f"**Verdict:** INCONSISTENT with the paper — DSS "
+                f"({means['dss']:.2f} MPKI) recovered at least as much "
+                f"as OLTP ({means['oltp']:.2f} MPKI); investigate "
+                "before trusting this matrix."
+            )
+        lines.append("")
+    return "\n".join(lines)

@@ -62,3 +62,29 @@ class TestDocsLint:
 
     def test_markdown_links_resolve(self):
         assert self.check_docs.check_links() == []
+
+    def test_no_orphan_pages(self):
+        assert self.check_docs.check_orphans() == []
+
+    def test_orphan_page_detected(self, tmp_path, monkeypatch):
+        """A page nothing links to fails the orphan check."""
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        (docs / "INDEX.md").write_text("# Map\n\n[linked](LINKED.md)\n")
+        (docs / "LINKED.md").write_text("# Linked\n")
+        (docs / "ORPHAN.md").write_text("# Nobody links here\n")
+        monkeypatch.setattr(self.check_docs, "ROOT", tmp_path)
+        problems = self.check_docs.check_orphans()
+        assert len(problems) == 1
+        assert "ORPHAN.md" in problems[0]
+        assert "orphan" in problems[0]
+
+    def test_dead_link_detected(self, tmp_path, monkeypatch):
+        """A relative link to a missing file fails the link check."""
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        (docs / "INDEX.md").write_text("[gone](MISSING.md)\n")
+        monkeypatch.setattr(self.check_docs, "ROOT", tmp_path)
+        problems = self.check_docs.check_links()
+        assert len(problems) == 1
+        assert "MISSING.md" in problems[0]

@@ -1,0 +1,126 @@
+"""Golden-file test for the cross-scenario report + the scenarios CLI."""
+
+import io
+import json
+import pathlib
+
+from repro.cli import main
+from repro.scenarios.matrix import CellResult, MatrixResult
+from repro.scenarios.report import render_scenarios_report
+
+DATA = pathlib.Path(__file__).parent / "data"
+GOLDEN = DATA / "golden_scenarios_report.md"
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def fixture_result():
+    """A deterministic matrix outcome covering every report section."""
+    def cell(name, family, kind, base, opt, *, hierarchy="32K/64B/1w",
+             engine="batched", drift="none", status="simulated", **kw):
+        return CellResult(
+            name=name, family=family, workload_kind=kind,
+            hierarchy=hierarchy, combo="all", drift=drift, engine=engine,
+            scope="app", status=status, instructions=250_000,
+            base_misses=int(base * 250), opt_misses=int(opt * 250),
+            base_mpki=base, opt_mpki=opt,
+            recovery_pct=100.0 * (base - opt) / base if base else 0.0,
+            **kw,
+        )
+
+    return MatrixResult(cells=[
+        cell("tpcb-i32", "oltp", "tpcb", 36.0, 3.0),
+        cell("tpcb-i64x2", "oltp", "tpcb", 14.0, 2.5,
+             hierarchy="64K/64B/2w", engine="classic", status="cached"),
+        cell("dss-i32", "dss", "dss", 8.0, 0.75),
+        cell("synth-oltp-i32", "synthetic-oltp", "synthetic", 22.0, 2.0),
+        cell("tpcb-shift-i32", "oltp", "tpcb", 28.0, 3.0, drift="shift"),
+        cell("broken-i32", "oltp", "tpcb", 0.0, 0.0, status="failed",
+             error="RuntimeError: boom"),
+    ])
+
+
+def fixture_document():
+    document = fixture_result().to_document()
+    document["run"] = {
+        "id": "deadbeef0000", "timestamp": "2026-01-01T00:00:00+00:00",
+    }
+    return document
+
+
+class TestGoldenReport:
+    def test_report_matches_golden(self):
+        rendered = render_scenarios_report(fixture_document())
+        assert rendered == GOLDEN.read_text(), (
+            "report drifted from tests/data/golden_scenarios_report.md; "
+            "if the change is intentional, regenerate the golden file"
+        )
+
+    def test_report_roundtrips_through_json(self):
+        document = json.loads(json.dumps(fixture_document()))
+        assert render_scenarios_report(document) == GOLDEN.read_text()
+
+    def test_inconsistent_ordering_verdict(self):
+        document = fixture_document()
+        document["families"] = [
+            {"family": "dss", "mean_recovered_mpki": 9.0,
+             "mean_recovery_pct": 90.0, "cells": 1},
+            {"family": "oltp", "mean_recovered_mpki": 1.0,
+             "mean_recovery_pct": 50.0, "cells": 1},
+        ]
+        document["ordering_ok"] = 0
+        rendered = render_scenarios_report(document)
+        assert "INCONSISTENT" in rendered
+
+    def test_no_failed_section_when_clean(self):
+        result = fixture_result()
+        result.cells = [c for c in result.cells if c.status != "failed"]
+        rendered = render_scenarios_report(result.to_document())
+        assert "## Failed cells" not in rendered
+
+
+class TestScenariosCli:
+    def test_report_command_renders_saved_document(self, tmp_path):
+        (tmp_path / "BENCH_scenarios.json").write_text(
+            json.dumps(fixture_document())
+        )
+        code, out = run_cli("scenarios", "report", str(tmp_path))
+        assert code == 0
+        assert out == GOLDEN.read_text()
+
+    def test_report_command_writes_file(self, tmp_path):
+        (tmp_path / "BENCH_scenarios.json").write_text(
+            json.dumps(fixture_document())
+        )
+        target = tmp_path / "report.md"
+        code, _ = run_cli(
+            "scenarios", "report", str(tmp_path), "--out", str(target)
+        )
+        assert code == 0
+        assert target.read_text() == GOLDEN.read_text()
+
+    def test_report_command_missing_document(self, tmp_path, capsys):
+        code, _ = run_cli("scenarios", "report", str(tmp_path))
+        assert code == 2
+        assert "BENCH_scenarios.json" in capsys.readouterr().err
+
+    def test_list_shows_the_default_matrix(self):
+        code, out = run_cli("scenarios", "list")
+        assert code == 0
+        assert "tpcb-i32" in out
+        assert "synth-oltp-shift-i32" in out
+
+    def test_list_select_filters(self):
+        code, out = run_cli("scenarios", "list", "--select", "dss-*")
+        assert code == 0
+        assert "dss-i32" in out
+        assert "tpcb-i32" not in out
+
+    def test_bad_select_is_a_clean_error(self, capsys):
+        code, _ = run_cli("scenarios", "list", "--select", "nope-*")
+        assert code == 2
+        assert "matched no scenario" in capsys.readouterr().err

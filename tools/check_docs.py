@@ -1,17 +1,21 @@
 #!/usr/bin/env python3
-"""Documentation lint: docstring coverage + markdown link integrity.
+"""Documentation lint: docstrings + markdown links + orphan pages.
 
-Two checks, both cheap enough for every CI run:
+Three checks, all cheap enough for every CI run:
 
 1. **Docstring coverage** — every public symbol (module, class,
    function, method not prefixed with ``_``) in the audited packages
-   (``repro.obs``, ``repro.online``, ``repro.harness``) must carry a
-   docstring.  Audited by importing the modules and walking their
-   members, so only what a user can actually reach is checked.
+   (``repro.obs``, ``repro.online``, ``repro.harness``, ...) must
+   carry a docstring.  Audited by importing the modules and walking
+   their members, so only what a user can actually reach is checked.
 2. **Link integrity** — every relative markdown link in ``docs/*.md``
    and the top-level ``*.md`` files must resolve to an existing file
    (anchors are stripped; external ``http(s):``/``mailto:`` links are
    skipped).
+3. **Orphan pages** — every linted markdown page must be reachable by
+   following relative links from ``docs/INDEX.md`` (``README.md`` is a
+   second root: GitHub renders it without anyone linking to it).  A
+   page nobody can navigate to is a page nobody will keep up to date.
 
 Exit status 0 when clean, 1 with one line per violation otherwise.
 Run as ``python tools/check_docs.py`` from the repository root.
@@ -37,6 +41,7 @@ AUDITED_PACKAGES = (
     "repro.check",
     "repro.sim",
     "repro.serve",
+    "repro.scenarios",
 )
 
 #: Markdown files whose relative links must resolve.
@@ -45,7 +50,38 @@ DOC_GLOBS = ("docs/*.md", "*.md")
 #: Machine-generated reference material — not linted for links.
 SKIP_FILES = {"PAPERS.md", "SNIPPETS.md", "ISSUE.md"}
 
+#: Pages a reader is expected to open directly — BFS roots for the
+#: orphan check (README.md because GitHub renders it unlinked).
+ORPHAN_ROOTS = ("docs/INDEX.md", "README.md")
+
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def _relative_targets(text: str) -> List[str]:
+    """The relative-path targets of every markdown link in ``text``."""
+    targets = []
+    for target in _LINK.findall(text):
+        if re.match(r"^[a-z][a-z0-9+.-]*:", target):
+            continue  # http:, https:, mailto:, ...
+        if target.startswith("#"):
+            continue  # intra-document anchor
+        relative = target.split("#", 1)[0]
+        if relative:
+            targets.append(relative)
+    return targets
+
+
+def _linted_pages() -> List[pathlib.Path]:
+    """Every markdown file the link checks cover, deduplicated."""
+    pages = []
+    seen = set()
+    for pattern in DOC_GLOBS:
+        for path in sorted(ROOT.glob(pattern)):
+            if path in seen or path.name in SKIP_FILES:
+                continue
+            seen.add(path)
+            pages.append(path)
+    return pages
 
 
 def iter_modules(package_name: str):
@@ -104,39 +140,56 @@ def check_docstrings() -> List[str]:
 def check_links() -> List[str]:
     """Every relative markdown link points at an existing file."""
     problems = []
-    seen = set()
-    for pattern in DOC_GLOBS:
-        for path in sorted(ROOT.glob(pattern)):
-            if path in seen or path.name in SKIP_FILES:
+    for path in _linted_pages():
+        for target in _relative_targets(path.read_text()):
+            resolved = (path.parent / target).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{path.relative_to(ROOT)}: broken link -> {target}"
+                )
+    return problems
+
+
+def check_orphans() -> List[str]:
+    """Every linted page is reachable from an :data:`ORPHAN_ROOTS` page.
+
+    Breadth-first search over the relative links, starting from the
+    roots; linted markdown pages the walk never visits are orphans.
+    """
+    pages = {path.resolve() for path in _linted_pages()}
+    queue = [
+        (ROOT / root).resolve() for root in ORPHAN_ROOTS if (ROOT / root).exists()
+    ]
+    reachable = set(queue)
+    while queue:
+        page = queue.pop()
+        if not page.exists() or page.suffix != ".md":
+            continue
+        for target in _relative_targets(page.read_text()):
+            resolved = (page.parent / target).resolve()
+            if resolved in reachable:
                 continue
-            seen.add(path)
-            text = path.read_text()
-            for target in _LINK.findall(text):
-                if re.match(r"^[a-z][a-z0-9+.-]*:", target):
-                    continue  # http:, https:, mailto:, ...
-                if target.startswith("#"):
-                    continue  # intra-document anchor
-                relative = target.split("#", 1)[0]
-                if not relative:
-                    continue
-                resolved = (path.parent / relative).resolve()
-                if not resolved.exists():
-                    problems.append(
-                        f"{path.relative_to(ROOT)}: broken link -> {target}"
-                    )
+            reachable.add(resolved)
+            queue.append(resolved)
+    problems = []
+    for page in sorted(pages - reachable):
+        problems.append(
+            f"{page.relative_to(ROOT)}: orphan page — not reachable from "
+            f"{' or '.join(ORPHAN_ROOTS)}"
+        )
     return problems
 
 
 def main() -> int:
-    """Run both checks; print violations; return a process exit code."""
+    """Run all checks; print violations; return a process exit code."""
     sys.path.insert(0, str(ROOT / "src"))
-    problems = check_docstrings() + check_links()
+    problems = check_docstrings() + check_links() + check_orphans()
     for problem in problems:
         print(problem)
     if problems:
         print(f"\n{len(problems)} documentation problem(s)")
         return 1
-    print("docs check: OK (docstrings + links)")
+    print("docs check: OK (docstrings + links + orphans)")
     return 0
 
 
