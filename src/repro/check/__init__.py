@@ -7,7 +7,8 @@ reproduction: a diagnostics engine with stable codes
 (:mod:`~repro.check.diagnostics`), layout-integrity checks
 (:mod:`~repro.check.layout_checks`), profile flow-conservation checks
 (:mod:`~repro.check.profile_checks`), layout-quality lints
-(:mod:`~repro.check.quality_checks`), deprecated-API scanning
+(:mod:`~repro.check.quality_checks`), static-vs-measured differential
+lints (:mod:`~repro.check.static_checks`), deprecated-API scanning
 (:mod:`~repro.check.deprecations`), and the cheap post-pass assertions
 used inside the layout pipeline (:mod:`~repro.check.structural`).
 
@@ -20,6 +21,7 @@ from repro.check.api import (
     check_layout,
     check_profile,
     check_quality,
+    check_static_diff,
     verify_layout,
 )
 from repro.check.deprecations import (
@@ -56,6 +58,7 @@ __all__ = [
     "check_layout",
     "check_profile",
     "check_quality",
+    "check_static_diff",
     "scan_deprecated_calls",
     "verify_chaining",
     "verify_layout",

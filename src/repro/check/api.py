@@ -31,6 +31,13 @@ from repro.check.quality_checks import (
     check_hot_fallthroughs,
     check_page_crossing_loops,
 )
+from repro.check.static_checks import (
+    check_branch_directions,
+    check_hot_set_divergence,
+    check_loop_rank_inversions,
+    check_static_cold_hot,
+    check_unreached_sampled,
+)
 from repro.errors import LayoutError
 
 #: Structure-only layout passes (no address map required).
@@ -58,6 +65,15 @@ _QUALITY_RUNNER = CheckRunner([
     ("quality.cold_in_hot", check_cold_in_hot),
     ("quality.page_crossing_loops", check_page_crossing_loops),
     ("quality.conflict_smells", check_conflict_smells),
+])
+
+#: Static-vs-measured differential passes (``STA*``).
+_STATIC_RUNNER = CheckRunner([
+    ("static.hot_set", check_hot_set_divergence),
+    ("static.branch_directions", check_branch_directions),
+    ("static.loop_ranks", check_loop_rank_inversions),
+    ("static.cold_hot", check_static_cold_hot),
+    ("static.unreached", check_unreached_sampled),
 ])
 
 
@@ -96,6 +112,22 @@ def check_quality(
         address_map=address_map, target=target,
     )
     return _QUALITY_RUNNER.run(ctx)
+
+
+def check_static_diff(binary, measured, static, target: str = "") -> CheckReport:
+    """Run the static-vs-measured differential family (``STA*``).
+
+    ``measured`` is the ground truth, ``static`` the
+    :func:`repro.staticpred.synthesize_profile` prediction for the same
+    binary.  All findings are advisories (warn/info) quantifying where
+    the prediction diverges; a self-diff (``measured`` on both sides)
+    reports nothing.
+    """
+    ctx = CheckContext(
+        binary=binary, profile=measured, target=target or "static-diff"
+    )
+    ctx.cache["static_profile"] = static
+    return _STATIC_RUNNER.run(ctx)
 
 
 def verify_layout(

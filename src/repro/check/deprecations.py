@@ -10,11 +10,12 @@ at once:
 * ``DEP001`` (error): a call site still uses one of the **removed**
   ``*_streams`` accessors; it will raise
   :class:`~repro.errors.RemovedAPIError` at runtime.
-* ``DEP002`` (warning): a call site uses one of the **deprecated**
+* ``DEP002`` (error): a call site uses one of the **deprecated**
   per-level simulators instead of the :func:`repro.sim.simulate`
-  facade; it still works, with one ``DeprecationWarning`` per process.
-  All first-party callers route through :mod:`repro.sim`, so any
-  finding is migration backlog, not informational noise.
+  facade.  It still works at runtime (one ``DeprecationWarning`` per
+  process), but the deprecation ladder is complete -- first-party code
+  has been clean for two releases -- so the lint now gates on it: the
+  next step removes the wrappers entirely.
 """
 
 from __future__ import annotations
@@ -81,7 +82,7 @@ def _scan_source(text: str, path: str) -> Iterator[Diagnostic]:
             name = node.attr
         if name is not None:
             yield Diagnostic(
-                "DEP002", Severity.WARN,
+                "DEP002", Severity.ERROR,
                 f"call site uses deprecated simulator {name!r}",
                 target=path, location=f"line {node.lineno}",
                 hint=f"use {DEPRECATED_SIMULATORS[name]} instead",

@@ -70,6 +70,12 @@ CODES: Dict[str, str] = {
     "QLT002": "cold block interleaved into a hot chain",
     "QLT003": "hot loop body crosses a page boundary (iTLB hazard)",
     "QLT004": "hot code lines collide in a direct-mapped cache set (conflict smell)",
+    # -- static-vs-measured differential (STA*) -----------------------
+    "STA001": "static and measured hot sets diverge (low Jaccard overlap)",
+    "STA002": "static branch prediction contradicts the measured direction on a hot branch",
+    "STA003": "loop-frequency ranking inverted between static and measured profiles",
+    "STA004": "statically-cold block is hot under measurement",
+    "STA005": "measured block carries zero static flow (statically unreached)",
     # -- deprecations (DEP*) ------------------------------------------
     "DEP001": "call site uses a removed API",
     "DEP002": "call site uses a deprecated simulator entry point",

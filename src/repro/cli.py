@@ -17,6 +17,9 @@ Commands:
 * ``scenarios`` -- the declarative scenario matrix: ``list`` the cells,
   ``run`` the resumable cross-workload sweep, ``report`` the saved
   cross-scenario Markdown report.
+* ``static-bench`` -- measured vs static vs hybrid profile sources on
+  scenario cells; records the OLTP static-recovery gate as
+  ``BENCH_staticpred.json``.
 * ``cache``    -- inspect (``info``) or wipe (``clear``) the artifact cache.
 * ``summary``  -- concatenate saved benchmark result tables.
 * ``report``   -- render one Markdown/HTML run report from a results
@@ -39,7 +42,10 @@ command unless ``--quiet`` is given.  ``--trace PATH`` records
 The shared flags may be given before or after the subcommand; the
 direct-mapped sweep figures additionally take ``--engine
 {batched,classic}`` (default ``batched``, the single-pass
-:mod:`repro.sim` engine).
+:mod:`repro.sim` engine).  ``figure``/``sweep``/``scenarios`` take
+``--profile-source {measured,static,hybrid}`` to build the optimized
+layouts from the profile-free static prediction instead of the
+profiling run (see ``docs/STATIC.md``).
 """
 
 from __future__ import annotations
@@ -56,6 +62,7 @@ from repro.harness import (
     figures,
     quick_experiment,
 )
+from repro.staticpred import PROFILE_SOURCES
 
 #: figure name -> callable(exp, engine) returning one or more Tables.
 #: Only the direct-mapped sweep figures consume ``engine``.
@@ -166,6 +173,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="direct-mapped sweep engine for fig04/fig05 (default "
         "batched; classic is the per-cell cross-check path)",
     )
+    figure.add_argument(
+        "--profile-source", choices=PROFILE_SOURCES, default="measured",
+        help="profile the optimized layouts are built from (default "
+        "measured; 'static' is the profile-free CFG prediction, "
+        "'hybrid' blends both -- see docs/STATIC.md)",
+    )
 
     sweep = sub.add_parser(
         "sweep", help="Figure 4/5 cache sweep (base + optimized)",
@@ -174,6 +187,11 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--engine", choices=("batched", "classic"), default="batched",
         help="direct-mapped sweep engine (default batched)",
+    )
+    sweep.add_argument(
+        "--profile-source", choices=PROFILE_SOURCES, default="measured",
+        help="profile the optimized layouts are built from (default "
+        "measured; see docs/STATIC.md)",
     )
     sub.add_parser(
         "ablation", help="Figure 7 optimization ablation", parents=[shared]
@@ -275,6 +293,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-verify", action="store_true",
         help="skip the repro.check gate on outgoing layouts (not advised)",
     )
+    serve.add_argument(
+        "--profile-source", choices=PROFILE_SOURCES, default="static",
+        help="cold-start answer for layout requests with no cached "
+        "profile (default static: serve a check-gated layout built "
+        "from the static prediction; 'measured' disables the fallback "
+        "and rejects unknown fingerprints)",
+    )
 
     fleet = sub.add_parser(
         "fleet",
@@ -361,6 +386,11 @@ def _build_parser() -> argparse.ArgumentParser:
             help="only cells whose name matches GLOB (repeatable, takes "
             "several patterns; a pattern matching nothing is an error)",
         )
+        leaf.add_argument(
+            "--profile-source", choices=PROFILE_SOURCES, default=None,
+            help="override every selected cell's profile source "
+            "(default: each spec's own, normally 'measured')",
+        )
     sc_run.add_argument(
         "--fresh", action="store_true",
         help="ignore previously completed cells and recompute everything",
@@ -396,6 +426,33 @@ def _build_parser() -> argparse.ArgumentParser:
     sc_report.add_argument(
         "--out", default=None, metavar="PATH",
         help="write the report to PATH instead of stdout",
+    )
+
+    staticbench = sub.add_parser(
+        "static-bench",
+        help="measured vs static vs hybrid profile sources on the OLTP "
+        "scenario cells (the staticpred recovery gate)",
+        description="Simulate scenario cells with optimized layouts "
+        "built from each profile source and compare the miss "
+        "reductions.  The gate requires static-only layouts to recover "
+        "at least half of the measured-profile reduction on the OLTP "
+        "cells.  See docs/STATIC.md.",
+        parents=[shared],
+    )
+    staticbench.add_argument(
+        "--select", action="extend", nargs="+", default=None, metavar="GLOB",
+        help="scenario cells to evaluate (default: the no-drift OLTP "
+        "cells tpcb-i32 and tpcb-i64x2)",
+    )
+    staticbench.add_argument(
+        "--check", action="store_true",
+        help="exit 1 unless static-only layouts recover >= 50%% of the "
+        "measured-profile miss reduction on the OLTP cells",
+    )
+    staticbench.add_argument(
+        "--save-json", default=None, metavar="DIR",
+        help="write the gate table as BENCH_staticpred.json under DIR "
+        "(compare runs with 'bench-diff')",
     )
 
     cache = sub.add_parser(
@@ -501,7 +558,14 @@ def _build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--scan", action="append", default=None, metavar="PATH",
         help="roots for the deprecated-API scan "
-        "(repeatable; default src, benchmarks, tools)",
+        "(repeatable; default src, benchmarks, tools). When --scan is "
+        "the only selection, the artifact lint is skipped and only the "
+        "scan runs",
+    )
+    lint.add_argument(
+        "--static-diff", action="store_true",
+        help="also diff the measured profiles against the static "
+        "prediction (STA* advisories; see docs/STATIC.md)",
     )
     return parser
 
@@ -514,6 +578,10 @@ def _experiment(args):
     exp = default_experiment() if args.full else quick_experiment()
     exp.jobs = args.jobs
     exp.attach_store(None if args.no_cache else _store(args))
+    # Commands without the flag (info, lint, ...) keep the measured
+    # default; ``serve`` interprets the flag itself.
+    if args.command not in ("serve",):
+        exp.profile_source = getattr(args, "profile_source", "measured")
     return exp
 
 
@@ -757,6 +825,7 @@ def _cmd_serve(args, out) -> int:
             queue_limit=args.queue_limit,
             workers=args.workers,
             verify=not args.no_verify,
+            static_fallback=args.profile_source != "measured",
         ),
     )
 
@@ -765,7 +834,8 @@ def _cmd_serve(args, out) -> int:
         out.write(
             f"layout server for binary {exp.app.binary.name!r} "
             f"listening on {server.address} "
-            f"(queue limit {args.queue_limit}, workers {args.workers})\n"
+            f"(queue limit {args.queue_limit}, workers {args.workers}, "
+            f"cold-start {args.profile_source})\n"
         )
         out.flush()
         await server.serve_forever()
@@ -1004,7 +1074,17 @@ def _cmd_lint(args, out) -> int:
     exp = _experiment(args)
     report = CheckReport()
 
-    if args.layout or args.profile:
+    # When --scan is the only selection, run just the AST scan: the
+    # artifact lint of every combo would dominate the runtime and (being
+    # clean by construction) only bury the scan findings -- and --strict
+    # must gate on DEP* findings alone.
+    scan_only = bool(args.scan) and not (
+        args.layout or args.profile or args.combo or args.static_diff
+    )
+
+    if scan_only:
+        pass
+    elif args.layout or args.profile:
         # Artifact mode: lint saved files against the app binary.
         binary = exp.app.binary
         for path in args.layout or ():
@@ -1037,6 +1117,20 @@ def _cmd_lint(args, out) -> int:
                         target=f"{label}/{combo}",
                     )
                 )
+
+    if args.static_diff:
+        from repro.check import check_static_diff
+
+        for label, binary, measured, kernel in (
+            ("app", exp.app.binary, exp.profile, False),
+            ("kernel", exp.kernel.binary, exp.kernel_profile, True),
+        ):
+            report.extend(
+                check_static_diff(
+                    binary, measured, exp.static_profile(kernel=kernel),
+                    target=f"static-diff:{label}",
+                )
+            )
 
     if not args.no_deprecations:
         roots = args.scan or [
@@ -1085,6 +1179,15 @@ def _cmd_scenarios(args, out) -> int:
             specs = scn.default_matrix(quick=not args.full)
         if args.select:
             specs = scn.select_specs(specs, args.select)
+        if args.profile_source:
+            import dataclasses
+
+            specs = [
+                dataclasses.replace(
+                    s, profile_source=args.profile_source
+                ).validate()
+                for s in specs
+            ]
 
         if args.scenarios_command == "list":
             from repro.harness.figures import Table
@@ -1092,10 +1195,12 @@ def _cmd_scenarios(args, out) -> int:
             table = Table(
                 title="Scenario matrix cells",
                 columns=["scenario", "workload", "hierarchy", "combo",
-                         "drift", "engine", "scope", "fingerprint"],
+                         "drift", "engine", "scope", "source",
+                         "fingerprint"],
                 rows=[
                     [s.name, s.workload.family, s.hierarchy.label, s.combo,
-                     s.drift, s.engine, s.scope, s.fingerprint()]
+                     s.drift, s.engine, s.scope, s.profile_source,
+                     s.fingerprint()]
                     for s in specs
                 ],
                 notes=["source: " + (args.matrix or "built-in default matrix")],
@@ -1135,6 +1240,43 @@ def _cmd_scenarios(args, out) -> int:
     return 0
 
 
+def _cmd_static_bench(args, out) -> int:
+    from repro import scenarios as scn
+    from repro.errors import ScenarioError
+    from repro.scenarios.staticbench import (
+        DEFAULT_CELLS,
+        GATE_MIN_RATIO,
+        run_static_bench,
+    )
+
+    try:
+        specs = scn.select_specs(
+            scn.default_matrix(quick=not args.full),
+            args.select or list(DEFAULT_CELLS),
+        )
+        result = run_static_bench(
+            specs,
+            store=None if args.no_cache else _store(args),
+            jobs=args.jobs,
+        )
+    except ScenarioError as exc:
+        sys.stderr.write(f"static-bench: {exc}\n")
+        return 2
+    table = result.to_table()
+    out.write(table.render() + "\n")
+    if args.save_json:
+        from repro.harness import write_benchmark_json
+
+        write_benchmark_json("staticpred", table, args.save_json)
+    if args.check and not result.passes():
+        sys.stderr.write(
+            f"static-bench check FAILED: mean OLTP static recovery ratio "
+            f"{result.gate_ratio:.3f} (need >= {GATE_MIN_RATIO:g})\n"
+        )
+        return 1
+    return 0
+
+
 def _cmd_trace_export(args, out) -> int:
     from repro.obs.chrome import export_chrome_trace
 
@@ -1162,6 +1304,7 @@ def main(argv=None, out=None) -> int:
         "serve": _cmd_serve,
         "fleet": _cmd_fleet,
         "scenarios": _cmd_scenarios,
+        "static-bench": _cmd_static_bench,
         "cache": _cmd_cache,
         "summary": _cmd_summary,
         "report": _cmd_report,

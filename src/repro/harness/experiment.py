@@ -47,10 +47,26 @@ from repro.layout import Combo, SpikeOptimizer
 from repro.osmodel import KernelCodeConfig, build_kernel_program
 from repro.profiles import PixieProfiler, Profile
 from repro.progen import AppCodeConfig, CompiledProgram, build_app_program
+from repro.staticpred import (
+    PROFILE_SOURCES,
+    hybrid_profile,
+    invert_enabled,
+    synthesize_profile,
+)
 from repro.workloads import TpcbConfig
 
 #: Valid scopes for :meth:`Experiment.streams`.
 STREAM_SCOPES = ("app", "kernel", "combined", "per-process")
+
+
+def _check_source(source: str) -> str:
+    """Validate a profile-source name; returns it for chaining."""
+    if source not in PROFILE_SOURCES:
+        raise ConfigError(
+            f"unknown profile source {source!r}; valid sources: "
+            f"{', '.join(PROFILE_SOURCES)}"
+        )
+    return source
 
 
 def _verify_enabled() -> bool:
@@ -129,6 +145,8 @@ class StreamSet:
     combo: str
     kernel_combo: str
     streams: Tuple[Tuple[np.ndarray, np.ndarray], ...]
+    #: The profile source the layouts were optimized from.
+    profile_source: str = "measured"
 
     def __iter__(self):
         return iter(self.streams)
@@ -160,6 +178,10 @@ class Experiment:
         self.store = store
         #: Worker processes used by the fanned-out figure sweeps.
         self.jobs = jobs
+        #: Default profile source (:data:`~repro.staticpred.PROFILE_SOURCES`)
+        #: used by :meth:`streams` / :meth:`address_map` when the call
+        #: does not pick one -- the knob behind ``--profile-source``.
+        self.profile_source = "measured"
         self.runlog = RunLog()
         self._fingerprint: Optional[str] = None
         self._app: Optional[CompiledProgram] = None
@@ -170,7 +192,11 @@ class Experiment:
         self._kernel_optimizer: Optional[SpikeOptimizer] = None
         self._layouts: Dict[str, Layout] = {}
         self._kernel_layouts: Dict[str, Layout] = {}
-        self._amaps: Dict[Tuple[str, str], CombinedAddressMap] = {}
+        self._static_profiles: Dict[bool, Profile] = {}
+        self._source_optimizers: Dict[Tuple[str, bool], SpikeOptimizer] = {}
+        self._source_layouts: Dict[Tuple[str, str], Layout] = {}
+        self._kernel_source_layouts: Dict[Tuple[str, str], Layout] = {}
+        self._amaps: Dict[Tuple[str, str, str], CombinedAddressMap] = {}
         self._trace: Optional[SystemTrace] = None
 
     # -- cache plumbing -----------------------------------------------------
@@ -212,6 +238,16 @@ class Experiment:
             for combo, layout in self._kernel_layouts.items()
             if combo != "base"  # baseline is trivial to rebuild
         ]
+        if not invert_enabled():  # fault-injected layouts never persist
+            artifacts += [
+                (f"layout-{source}-{combo}.json", layout, save_layout)
+                for (source, combo), layout in self._source_layouts.items()
+            ]
+            artifacts += [
+                (f"klayout-{source}-{combo}.json", layout, save_layout)
+                for (source, combo), layout
+                in self._kernel_source_layouts.items()
+            ]
         written = 0
         for name, obj, saver in artifacts:
             if obj is not None and not self.store.has(self.fingerprint, name):
@@ -387,13 +423,129 @@ class Experiment:
                 )
         return self._kernel_layouts[combo]
 
-    def address_map(self, combo: str, kernel_combo: str = "base") -> CombinedAddressMap:
-        """The combined app+kernel address map for a combo pair."""
-        key = (Combo.parse(combo).value, Combo.parse(kernel_combo).value)
+    # -- profile sources -------------------------------------------------------------
+
+    def static_profile(self, *, kernel: bool = False) -> Profile:
+        """The synthesized (profile-free) static profile of the app or
+        kernel binary.  Deterministic per binary, so it is computed in
+        memory on demand and never persisted -- and, crucially, it
+        needs no profiling run: cold-start consumers (``repro serve``)
+        reach it without ever touching :attr:`profile`.
+        """
+        if kernel not in self._static_profiles:
+            program = self.kernel if kernel else self.app
+            detail = "kernel" if kernel else "app"
+            with self.runlog.stage("staticpred", detail):
+                self._static_profiles[kernel] = synthesize_profile(
+                    program.binary
+                )
+        return self._static_profiles[kernel]
+
+    def profile_for(self, source: str, *, kernel: bool = False) -> Profile:
+        """The profile one source names: ``measured`` (the profiling
+        run), ``static`` (synthesized from CFG structure alone), or
+        ``hybrid`` (measurement blended with the static prior)."""
+        _check_source(source)
+        if source == "static":
+            return self.static_profile(kernel=kernel)
+        measured = self.kernel_profile if kernel else self.profile
+        if source == "measured":
+            return measured
+        return hybrid_profile(measured, self.static_profile(kernel=kernel))
+
+    def optimizer_for(
+        self, source: str, *, kernel: bool = False
+    ) -> SpikeOptimizer:
+        """A Spike optimizer over one profile source (cached)."""
+        _check_source(source)
+        if source == "measured":
+            return self.kernel_optimizer if kernel else self.optimizer
+        key = (source, kernel)
+        if key not in self._source_optimizers:
+            program = self.kernel if kernel else self.app
+            self._source_optimizers[key] = SpikeOptimizer(
+                program.binary,
+                self.profile_for(source, kernel=kernel),
+                verify=_verify_enabled(),
+            )
+        return self._source_optimizers[key]
+
+    def layout_for(self, combo: str, source: str = "measured") -> Layout:
+        """The application layout for one combo under one profile
+        source.  ``measured`` shares :meth:`layout`'s cache entries;
+        the other sources persist as ``layout-<source>-<combo>.json``.
+        Fault-injected predictions (``REPRO_STATIC_INVERT``) bypass
+        the store entirely so they can never pollute -- or be
+        satisfied from -- the clean cache.
+        """
+        combo = Combo.parse(combo).value
+        _check_source(source)
+        if source == "measured":
+            return self.layout(combo)
+        key = (source, combo)
+        if key not in self._source_layouts:
+            if invert_enabled():
+                self._source_layouts[key] = (
+                    self.optimizer_for(source).layout(combo)
+                )
+            else:
+                self._source_layouts[key] = self._staged(
+                    "layout", f"{source}:{combo}",
+                    f"layout-{source}-{combo}.json",
+                    loader=lambda path: load_layout(path, self.app.binary),
+                    builder=lambda: self.optimizer_for(source).layout(combo),
+                    saver=save_layout,
+                )
+        return self._source_layouts[key]
+
+    def kernel_layout_for(self, combo: str, source: str = "measured") -> Layout:
+        """The kernel layout for one combo under one profile source."""
+        combo = Combo.parse(combo).value
+        _check_source(source)
+        if source == "measured" or combo == "base":
+            return self.kernel_layout(combo)
+        key = (source, combo)
+        if key not in self._kernel_source_layouts:
+            if invert_enabled():
+                self._kernel_source_layouts[key] = (
+                    self.optimizer_for(source, kernel=True).layout(combo)
+                )
+            else:
+                self._kernel_source_layouts[key] = self._staged(
+                    "layout", f"kernel:{source}:{combo}",
+                    f"klayout-{source}-{combo}.json",
+                    loader=lambda path: load_layout(
+                        path, self.kernel.binary
+                    ),
+                    builder=lambda: self.optimizer_for(
+                        source, kernel=True
+                    ).layout(combo),
+                    saver=save_layout,
+                )
+        return self._kernel_source_layouts[key]
+
+    def address_map(
+        self,
+        combo: str,
+        kernel_combo: str = "base",
+        profile_source: Optional[str] = None,
+    ) -> CombinedAddressMap:
+        """The combined app+kernel address map for a combo pair.
+
+        ``profile_source`` defaults to the experiment-wide
+        :attr:`profile_source` when not given.
+        """
+        key = (
+            Combo.parse(combo).value,
+            Combo.parse(kernel_combo).value,
+            _check_source(profile_source or self.profile_source),
+        )
         if key not in self._amaps:
-            app_map = assign_addresses(self.app.binary, self.layout(key[0]))
+            app_map = assign_addresses(
+                self.app.binary, self.layout_for(key[0], key[2])
+            )
             kernel_map = assign_addresses(
-                self.kernel.binary, self.kernel_layout(key[1])
+                self.kernel.binary, self.kernel_layout_for(key[1], key[2])
             )
             self._amaps[key] = CombinedAddressMap(app_map, kernel_map)
         return self._amaps[key]
@@ -417,7 +569,12 @@ class Experiment:
     # -- streams for the cache simulators ----------------------------------------------
 
     def streams(
-        self, combo: str = "base", *, scope: str, kernel_combo: str = "base"
+        self,
+        combo: str = "base",
+        *,
+        scope: str,
+        kernel_combo: str = "base",
+        profile_source: Optional[str] = None,
     ) -> StreamSet:
         """Fetch-span streams for the cache simulators.
 
@@ -429,15 +586,22 @@ class Experiment:
         * ``"combined"``    -- per-CPU app+OS streams.
         * ``"per-process"`` -- per-process app-only streams
           (single-CPU style studies).
+
+        ``profile_source`` picks the profile the layouts were
+        optimized from (the measurement *trace* is always the real
+        one -- the axis varies what the optimizer knew, not what the
+        system did); None falls back to the experiment-wide
+        :attr:`profile_source`.
         """
         combo = Combo.parse(combo).value
         kernel_combo = Combo.parse(kernel_combo).value
+        profile_source = _check_source(profile_source or self.profile_source)
         if scope not in STREAM_SCOPES:
             raise SimulationError(
                 f"unknown stream scope {scope!r}; "
                 f"valid scopes: {', '.join(STREAM_SCOPES)}"
             )
-        amap = self.address_map(combo, kernel_combo)
+        amap = self.address_map(combo, kernel_combo, profile_source)
         if scope == "app":
             spans = [
                 amap.expand_spans(
@@ -461,7 +625,7 @@ class Experiment:
             ]
         return StreamSet(
             scope=scope, combo=combo, kernel_combo=kernel_combo,
-            streams=tuple(spans),
+            streams=tuple(spans), profile_source=profile_source,
         )
 
     # -- removed stream accessors ---------------------------------------------------

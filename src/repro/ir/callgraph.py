@@ -9,7 +9,7 @@ these new procedures".
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import LayoutError
 from repro.ir.binary import Binary
@@ -57,8 +57,8 @@ class UnitCallGraph:
 def build_unit_call_graph(
     binary: Binary,
     units: Sequence[CodeUnit],
-    block_counts,
-    edge_counts=None,
+    block_counts: Sequence[int],
+    edge_counts: Optional[Mapping[Tuple[int, int], int]] = None,
 ) -> UnitCallGraph:
     """Build the unit-level graph from profile data.
 

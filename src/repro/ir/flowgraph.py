@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.ir.instruction import Terminator
 from repro.ir.procedure import Procedure
@@ -60,7 +60,7 @@ class FlowGraph:
 
 
 def flow_graph_from_block_counts(
-    proc: Procedure, block_counts
+    proc: Procedure, block_counts: Sequence[int]
 ) -> FlowGraph:
     """Estimate edge weights from basic-block execution counts.
 
@@ -89,7 +89,9 @@ def flow_graph_from_block_counts(
 
 
 def flow_graph_from_edge_counts(
-    proc: Procedure, edge_counts, block_counts=None
+    proc: Procedure,
+    edge_counts: Mapping[Tuple[int, int], int],
+    block_counts: Optional[Sequence[int]] = None,
 ) -> FlowGraph:
     """Build exact edge weights from measured transition counts.
 

@@ -71,6 +71,14 @@ class OnlineConfig:
     min_samples: int = 64
     #: Optimization combination the layouts are built with.
     combo: str = "all"
+    #: Profile the deployed offline layout and the controller's
+    #: reference profile come from: ``measured``, ``static`` or
+    #: ``hybrid``.  ``hybrid`` seeds the drift detector with the
+    #: static prior, so the first epoch can already be judged against
+    #: a structured reference instead of waiting out a full sample
+    #: window; ``static`` models a cold-start deployment that never
+    #: ran a profiling pass at all.
+    profile_source: str = "measured"
     #: TPC-B transactions each client issues before shifting to DSS.
     shift_after: int = 5
     #: I-cache geometry the epochs are measured against.
@@ -86,6 +94,13 @@ class OnlineConfig:
         if self.shift_after < 1:
             raise ConfigError(
                 f"shift_after must be >= 1, got {self.shift_after}"
+            )
+        from repro.staticpred import PROFILE_SOURCES
+
+        if self.profile_source not in PROFILE_SOURCES:
+            raise ConfigError(
+                f"unknown profile source {self.profile_source!r}; "
+                f"valid sources: {', '.join(PROFILE_SOURCES)}"
             )
 
     @property
@@ -167,6 +182,7 @@ class OnlineReport:
                 "top_k": self.config.top_k,
                 "min_samples": self.config.min_samples,
                 "combo": self.config.combo,
+                "profile_source": self.config.profile_source,
                 "shift_after": self.config.shift_after,
                 "cache_bytes": self.config.cache_bytes,
                 "line_bytes": self.config.line_bytes,
@@ -272,13 +288,15 @@ def run_online_experiment(
     trace = exp.trace
     epochs = epoch_streams(trace, config.epochs)
 
-    static_map = assign_addresses(binary, exp.layout(config.combo))
+    static_map = assign_addresses(
+        binary, exp.layout_for(config.combo, config.profile_source)
+    )
     relayout = AdaptiveRelayout(
         binary, combo=config.combo, store=exp.store, runlog=exp.runlog
     )
     controller = AdaptiveController(
         binary,
-        exp.profile,
+        exp.profile_for(config.profile_source),
         relayout,
         threshold=config.threshold,
         refresh_threshold=config.refresh_threshold,

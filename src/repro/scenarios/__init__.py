@@ -16,12 +16,19 @@ turns that matrix into data:
   ``BENCH_scenarios`` document.
 * :mod:`repro.scenarios.report` — the cross-scenario Markdown report
   (per-cell recovery, family sensitivity ranking, paper verdict).
+* :mod:`repro.scenarios.staticbench` — the ``repro static-bench``
+  engine: measured vs static vs hybrid profile sources per cell, with
+  the OLTP static-recovery gate (``BENCH_staticpred``).
 
 See ``docs/SCENARIOS.md`` for the user guide and matrix-file schema.
 """
 
 from repro.scenarios.matrix import CellResult, MatrixResult, run_matrix
 from repro.scenarios.report import render_scenarios_report
+from repro.scenarios.staticbench import (
+    StaticBenchResult,
+    run_static_bench,
+)
 from repro.scenarios.spec import (
     HierarchySpec,
     ScenarioSpec,
@@ -48,6 +55,7 @@ __all__ = [
     "HierarchySpec",
     "MatrixResult",
     "ScenarioSpec",
+    "StaticBenchResult",
     "SynthPhase",
     "SyntheticConfig",
     "SyntheticWorkload",
@@ -59,5 +67,6 @@ __all__ = [
     "registry_names",
     "render_scenarios_report",
     "run_matrix",
+    "run_static_bench",
     "select_specs",
 ]

@@ -76,6 +76,9 @@ class CellResult:
     #: ``simulated`` (computed this run), ``cached`` (loaded from the
     #: store), or ``failed``.
     status: str
+    #: Profile source the optimized layout was built from (defaulted
+    #: so cells cached before the axis existed still load).
+    profile_source: str = "measured"
     instructions: int = 0
     base_misses: int = 0
     opt_misses: int = 0
@@ -168,12 +171,17 @@ def _run_cell(task: Tuple[Dict, Optional[str], bool]) -> Dict:
         engine=spec.engine,
         scope=spec.scope,
         status="simulated",
+        profile_source=spec.profile_source,
     )
     try:
         with obs.span("scenarios.cell", scenario=spec.name):
             exp = _experiment_for(spec, store)
             base = exp.streams("base", scope=spec.scope)
-            opt = exp.streams(cell.combo, scope=spec.scope)
+            opt = exp.streams(
+                cell.combo,
+                scope=spec.scope,
+                profile_source=spec.profile_source,
+            )
             cell.instructions = base.instructions
             cell.base_misses = _simulate_misses(spec, base)
             cell.opt_misses = _simulate_misses(spec, opt)
@@ -189,10 +197,10 @@ def _run_cell(task: Tuple[Dict, Optional[str], bool]) -> Dict:
                 from repro.check import check_all
                 from repro.ir import assign_addresses
 
-                layout = exp.layout(cell.combo)
+                layout = exp.layout_for(cell.combo, spec.profile_source)
                 report = check_all(
                     exp.app.binary,
-                    profile=exp.profile,
+                    profile=exp.profile_for(spec.profile_source),
                     layout=layout,
                     address_map=assign_addresses(exp.app.binary, layout),
                     target=spec.name,

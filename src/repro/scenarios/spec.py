@@ -58,6 +58,7 @@ from repro.harness.experiment import (
 from repro.layout import Combo
 from repro.scenarios.synth import MIX_PRESETS, OP_KINDS
 from repro.sim import MemoryHierarchy
+from repro.staticpred import PROFILE_SOURCES
 
 #: Bump when the canonical spec payload changes shape (invalidates
 #: every cached cell result).
@@ -183,6 +184,10 @@ class ScenarioSpec:
     scope: str = "app"
     #: Quick (test-sized) or paper-scale experiment.
     quick: bool = True
+    #: Profile the optimized layout is built from: ``measured`` (the
+    #: profiling run), ``static`` (synthesized, profile-free) or
+    #: ``hybrid`` (measured + static prior).
+    profile_source: str = "measured"
 
     # -- validation ---------------------------------------------------------
 
@@ -258,6 +263,12 @@ class ScenarioSpec:
                 f"{self.name}: unknown stream scope {self.scope!r}; "
                 f"valid scopes: {', '.join(STREAM_SCOPES)}"
             )
+        if self.profile_source not in PROFILE_SOURCES:
+            raise ScenarioError(
+                f"{self.name}: unknown profile source "
+                f"{self.profile_source!r}; valid sources: "
+                f"{', '.join(PROFILE_SOURCES)}"
+            )
         try:
             self.hierarchy.to_hierarchy()
         except Exception as exc:
@@ -267,8 +278,13 @@ class ScenarioSpec:
     # -- identity -----------------------------------------------------------
 
     def canonical(self) -> Dict:
-        """The content payload (everything except the display name)."""
-        return {
+        """The content payload (everything except the display name).
+
+        ``profile_source`` only contributes when it departs from
+        ``measured``, so every pre-existing measured cell keeps its
+        fingerprint (and its cached results) across the axis addition.
+        """
+        payload = {
             "version": SPEC_VERSION,
             "workload": self.workload.canonical(),
             "hierarchy": asdict(self.hierarchy),
@@ -279,6 +295,9 @@ class ScenarioSpec:
             "scope": self.scope,
             "quick": self.quick,
         }
+        if self.profile_source != "measured":
+            payload["profile_source"] = self.profile_source
+        return payload
 
     def fingerprint(self) -> str:
         """Stable content hash of the cell (name excluded: two names

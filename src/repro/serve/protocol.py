@@ -49,6 +49,9 @@ SOURCE_MEMORY = "memory"
 SOURCE_DISK = "disk"
 SOURCE_BUILT = "built"
 SOURCE_COALESCED = "coalesced"
+#: Cold-start answer: no profile known, layout built from the static
+#: profile synthesized off the binary's CFG (:mod:`repro.staticpred`).
+SOURCE_STATIC = "static"
 
 
 @dataclass

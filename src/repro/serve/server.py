@@ -55,6 +55,7 @@ from repro.serve.protocol import (
     ProfileSubmit,
     SOURCE_BUILT,
     SOURCE_COALESCED,
+    SOURCE_STATIC,
     STATUS_ERROR,
     STATUS_OK,
     STATUS_REJECTED,
@@ -62,6 +63,7 @@ from repro.serve.protocol import (
     encode_message,
     read_message,
 )
+from repro.staticpred import synthesize_profile
 
 #: Set (in the parent, pre-fork) so pool workers inherit the binary
 #: without per-task pickling; thread-mode executors read it directly.
@@ -93,6 +95,17 @@ def _optimize_task(submit: ProfileSubmit, combo: str, enqueued_at: float) -> Dic
     }
 
 
+def _static_task(combo: str) -> Dict:
+    """Cold-start optimization in a worker: synthesize a static profile
+    from the binary's CFG structure and optimize against it."""
+    binary = _WORKER_BINARY
+    if binary is None:
+        raise ServeError("optimization worker has no binary configured")
+    profile = synthesize_profile(binary)
+    layout = SpikeOptimizer(binary, profile).layout(combo)
+    return layout_to_dict(layout)
+
+
 @dataclass
 class ServerConfig:
     """Operational knobs of one :class:`LayoutServer`."""
@@ -113,6 +126,10 @@ class ServerConfig:
     cache_entries: int = DEFAULT_MEMORY_ENTRIES
     #: Distinct submitted profiles kept (LRU beyond this).
     max_profiles: int = 256
+    #: Answer requests for unknown profile fingerprints with a layout
+    #: built from a statically synthesized profile (cold start) instead
+    #: of an error telling the client to submit a profile first.
+    static_fallback: bool = True
 
 
 class LayoutServer:
@@ -132,6 +149,9 @@ class LayoutServer:
         )
         self._profiles: "OrderedDict[str, ProfileSubmit]" = OrderedDict()
         self._inflight: Dict[Tuple[str, str], "asyncio.Future"] = {}
+        #: combo -> gated static-fallback layout document (cold start).
+        self._static_documents: Dict[str, Dict] = {}
+        self._static_inflight: Dict[str, "asyncio.Future"] = {}
         self._pending = 0
         self._executor: Optional[Executor] = None
         self._server: Optional[asyncio.AbstractServer] = None
@@ -307,6 +327,8 @@ class LayoutServer:
 
         submit = self._profiles.get(request.fingerprint)
         if submit is None:
+            if self.config.static_fallback:
+                return await self._serve_static(request, combo)
             return LayoutResponse(
                 status=STATUS_ERROR,
                 fingerprint=request.fingerprint,
@@ -390,6 +412,61 @@ class LayoutServer:
             source=SOURCE_BUILT,
             layout=document,
             queue_wait_ms=wait_ms,
+        )
+
+    async def _serve_static(
+        self, request: LayoutRequest, combo: str
+    ) -> LayoutResponse:
+        """Cold start: the fingerprint is unknown, so serve a layout
+        built from the static profile synthesized off the binary's CFG
+        (:mod:`repro.staticpred`) -- gated like any other layout --
+        instead of turning the client away empty-handed.
+
+        One build per combo, coalesced and cached for the lifetime of
+        the server (static synthesis is deterministic per binary).
+        """
+        document = self._static_documents.get(combo)
+        if document is None:
+            inflight = self._static_inflight.get(combo)
+            if inflight is None:
+                loop = asyncio.get_event_loop()
+                inflight = loop.run_in_executor(
+                    self._executor, _static_task, combo
+                )
+                self._static_inflight[combo] = inflight
+            else:
+                obs.counter("serve.coalesced").inc()
+            try:
+                with obs.span("serve.static_optimize", combo=combo):
+                    document = await asyncio.shield(inflight)
+            except Exception as exc:
+                obs.counter("serve.optimize_errors").inc()
+                return LayoutResponse(
+                    status=STATUS_ERROR,
+                    fingerprint=request.fingerprint,
+                    combo=combo,
+                    error=f"static fallback failed: {exc}",
+                )
+            finally:
+                self._static_inflight.pop(combo, None)
+            if self.config.verify and not self._gate_ok(document):
+                return LayoutResponse(
+                    status=STATUS_ERROR,
+                    fingerprint=request.fingerprint,
+                    combo=combo,
+                    error=(
+                        "static fallback layout failed the repro.check "
+                        "integrity gate"
+                    ),
+                )
+            self._static_documents[combo] = document
+        obs.counter("serve.static_served").inc()
+        return LayoutResponse(
+            status=STATUS_OK,
+            fingerprint=request.fingerprint,
+            combo=combo,
+            source=SOURCE_STATIC,
+            layout=document,
         )
 
     def _gate_ok(self, document: Dict) -> bool:

@@ -1,0 +1,187 @@
+"""Intra-procedure control-flow analyses: dominators, loops, reachability.
+
+The static predictor needs three structural facts about every
+procedure: which blocks are reachable from the entry (cold-code
+classification), which blocks form natural loops and how deeply they
+nest (the frequency scaler), and the dominator tree that defines those
+loops.  All three come out of one pass object, :class:`CfgInfo`, built
+with the Cooper-Harvey-Kennedy iterative dominator algorithm -- the
+CFGs here are a few dozen blocks, so the simple-to-verify iterative
+form beats Lengauer-Tarjan on every axis that matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.ir import Procedure
+
+
+@dataclass(frozen=True)
+class NaturalLoop:
+    """A natural loop of one procedure's CFG.
+
+    Attributes:
+        header: Block id of the loop header (dominates the body).
+        body: Block ids of the loop, header included.
+        back_edges: The ``latch -> header`` edges defining the loop.
+    """
+
+    header: int
+    body: FrozenSet[int]
+    back_edges: Tuple[Tuple[int, int], ...]
+
+
+class CfgInfo:
+    """Dominator tree, natural loops and reachability of one procedure.
+
+    Attributes:
+        proc: The analyzed procedure.
+        reachable: Block ids reachable from the entry.
+        rpo: Reachable blocks in reverse postorder.
+        idom: Immediate dominator per reachable block (the entry maps
+            to itself).
+        back_edges: Edges ``(src, dst)`` where ``dst`` dominates
+            ``src`` -- the back edges of natural loops.
+        loops: Natural loops, one per header (back edges sharing a
+            header are merged, the standard construction).
+        depth: Loop nesting depth per block id (0 = not in any loop).
+    """
+
+    def __init__(self, proc: Procedure) -> None:
+        """Analyze ``proc`` (must belong to a sealed binary)."""
+        self.proc = proc
+        entry = proc.entry.bid
+        succs: Dict[int, Tuple[int, ...]] = {
+            b.bid: tuple(b.succs) for b in proc.blocks
+        }
+        self.reachable: Set[int] = set()
+        post: List[int] = []
+        stack: List[Tuple[int, int]] = [(entry, 0)]
+        self.reachable.add(entry)
+        while stack:
+            bid, i = stack.pop()
+            if i < len(succs[bid]):
+                stack.append((bid, i + 1))
+                nxt = succs[bid][i]
+                if nxt not in self.reachable:
+                    self.reachable.add(nxt)
+                    stack.append((nxt, 0))
+            else:
+                post.append(bid)
+        self.rpo: List[int] = list(reversed(post))
+        self._rpo_index: Dict[int, int] = {
+            bid: i for i, bid in enumerate(self.rpo)
+        }
+        preds: Dict[int, List[int]] = {bid: [] for bid in self.rpo}
+        for bid in self.rpo:
+            for dst in succs[bid]:
+                if dst in self._rpo_index:
+                    preds[dst].append(bid)
+        self._preds = preds
+        self.idom: Dict[int, int] = self._compute_idoms(entry, preds)
+        self.back_edges: Set[Tuple[int, int]] = {
+            (src, dst)
+            for src in self.rpo
+            for dst in succs[src]
+            if dst in self.reachable and self.dominates(dst, src)
+        }
+        self.loops: List[NaturalLoop] = self._build_loops(preds)
+        self.depth: Dict[int, int] = {bid: 0 for bid in self.rpo}
+        for loop in self.loops:
+            for bid in loop.body:
+                self.depth[bid] += 1
+        self._innermost: Dict[int, Optional[NaturalLoop]] = {}
+        for bid in self.rpo:
+            best: Optional[NaturalLoop] = None
+            for loop in self.loops:
+                if bid in loop.body and (
+                    best is None or len(loop.body) < len(best.body)
+                ):
+                    best = loop
+            self._innermost[bid] = best
+
+    def _compute_idoms(
+        self, entry: int, preds: Dict[int, List[int]]
+    ) -> Dict[int, int]:
+        idom: Dict[int, int] = {entry: entry}
+        changed = True
+        while changed:
+            changed = False
+            for bid in self.rpo:
+                if bid == entry:
+                    continue
+                candidates = [p for p in preds[bid] if p in idom]
+                if not candidates:
+                    continue
+                new = candidates[0]
+                for other in candidates[1:]:
+                    new = self._intersect(new, other, idom)
+                if idom.get(bid) != new:
+                    idom[bid] = new
+                    changed = True
+        return idom
+
+    def _intersect(self, a: int, b: int, idom: Dict[int, int]) -> int:
+        while a != b:
+            while self._rpo_index[a] > self._rpo_index[b]:
+                a = idom[a]
+            while self._rpo_index[b] > self._rpo_index[a]:
+                b = idom[b]
+        return a
+
+    def _build_loops(self, preds: Dict[int, List[int]]) -> List[NaturalLoop]:
+        by_header: Dict[int, Tuple[Set[int], List[Tuple[int, int]]]] = {}
+        for src, header in sorted(self.back_edges):
+            body, edges = by_header.setdefault(header, ({header}, []))
+            edges.append((src, header))
+            work = [src]
+            while work:
+                bid = work.pop()
+                if bid in body:
+                    continue
+                body.add(bid)
+                work.extend(p for p in preds.get(bid, []) if p not in body)
+        return [
+            NaturalLoop(
+                header=header,
+                body=frozenset(body),
+                back_edges=tuple(sorted(edges)),
+            )
+            for header, (body, edges) in sorted(by_header.items())
+        ]
+
+    def dominates(self, a: int, b: int) -> bool:
+        """True when every entry->``b`` path passes through ``a``."""
+        if a not in self.idom or b not in self.idom:
+            return False
+        while True:
+            if b == a:
+                return True
+            parent = self.idom[b]
+            if parent == b:
+                return False
+            b = parent
+
+    def rpo_index(self, bid: int) -> int:
+        """Position of a reachable block in reverse postorder."""
+        return self._rpo_index[bid]
+
+    def is_retreating(self, src: int, dst: int) -> bool:
+        """True for edges flowing against reverse postorder (these
+        close cycles; in reducible CFGs they are exactly the back
+        edges)."""
+        return (
+            dst in self._rpo_index
+            and src in self._rpo_index
+            and self._rpo_index[dst] <= self._rpo_index[src]
+        )
+
+    def innermost_loop(self, bid: int) -> Optional[NaturalLoop]:
+        """The smallest natural loop containing a block, if any."""
+        return self._innermost.get(bid)
+
+    def preds(self, bid: int) -> List[int]:
+        """Reachable predecessors of a reachable block."""
+        return list(self._preds.get(bid, []))

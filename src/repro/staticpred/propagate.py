@@ -1,0 +1,205 @@
+"""Exact integer flow propagation over one procedure's CFG.
+
+Wu-Larus static profile estimation propagates branch probabilities to
+block and edge *frequencies*.  The classic formulation works in real
+numbers and rounds at the end -- which breaks Kirchhoff conservation
+by a little everywhere, and ``repro.check``'s PRF family is exactly
+the tool that notices.  This module instead propagates **indivisible
+integer flow units**: a block that receives ``u`` units is counted
+``u`` times and apportions exactly ``u`` units across its successors
+(largest-remainder rounding of the heuristic probabilities), so
+``inflow == count == outflow`` holds *exactly* at every block, with
+units leaving the procedure only through RETURN sinks.
+
+Loops terminate the propagation naturally: stay-probabilities are
+capped below 1 (:data:`repro.staticpred.heuristics.PROB_CAP`), so the
+units circulating a loop shrink geometrically.  Two guards make this
+robust for arbitrary CFGs:
+
+* at a branch inside a loop that has an exit arm, the in-loop arms
+  never receive *all* the units (the rounding bonus can otherwise
+  park the last few units in the loop forever);
+* a per-block event budget; a block that exceeds it routes units
+  straight along the shortest path to a RETURN.  Units in a region
+  from which no RETURN is reachable (an infinite loop -- a shape no
+  *measured* profile could terminate on either) are counted where
+  they stand and sunk; this is the one case that leaves a PRF001
+  imbalance, reported via :attr:`ProcFlow.trapped`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir import Procedure, Terminator
+from repro.staticpred.cfg import CfgInfo
+
+#: Times a block may apportion normally before it is forced onto the
+#: drain path.  Generous: legitimate nested loops re-process their
+#: headers once per decay round, pathological cycles burn out here.
+MAX_FREE_EVENTS = 512
+
+
+@dataclass
+class ProcFlow:
+    """Integer flow solution for one procedure.
+
+    Attributes:
+        counts: Execution count per block id.
+        edges: Units moved along each intra-procedure CFG edge.
+        return_units: Units sunk at each RETURN block (these later
+            transfer to call-site continuations).
+        trapped: Units sunk at non-RETURN blocks because no RETURN was
+            reachable (pathological CFGs only).
+    """
+
+    counts: Dict[int, int] = field(default_factory=dict)
+    edges: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    return_units: Dict[int, int] = field(default_factory=dict)
+    trapped: int = 0
+
+
+def apportion(units: int, probs: List[float]) -> List[int]:
+    """Split ``units`` across shares by largest-remainder rounding.
+
+    The parts are non-negative, sum exactly to ``units``, and ties
+    break on share order so the result is deterministic.
+    """
+    total = sum(probs)
+    if total <= 0.0:
+        norm = [1.0 / len(probs)] * len(probs)
+    else:
+        norm = [p / total for p in probs]
+    quotas = [units * p for p in norm]
+    parts = [int(q) for q in quotas]
+    short = units - sum(parts)
+    if short > 0:
+        order = sorted(
+            range(len(norm)), key=lambda i: (parts[i] - quotas[i], i)
+        )
+        for i in order[:short]:
+            parts[i] += 1
+    return parts
+
+
+def _exit_successors(
+    proc: Procedure,
+) -> Tuple[Dict[int, Optional[int]], Dict[int, int]]:
+    """Per block: the successor on a shortest path to a RETURN, and
+    the hop distance (RETURN blocks are distance 0)."""
+    preds: Dict[int, List[int]] = {b.bid: [] for b in proc.blocks}
+    for block in proc.blocks:
+        for dst in block.succs:
+            preds[dst].append(block.bid)
+    dist: Dict[int, int] = {}
+    queue: List[int] = []
+    for block in proc.blocks:
+        if block.terminator is Terminator.RETURN:
+            dist[block.bid] = 0
+            queue.append(block.bid)
+    head = 0
+    while head < len(queue):
+        bid = queue[head]
+        head += 1
+        for pred in preds[bid]:
+            if pred not in dist:
+                dist[pred] = dist[bid] + 1
+                queue.append(pred)
+    exit_succ: Dict[int, Optional[int]] = {}
+    for block in proc.blocks:
+        best: Optional[int] = None
+        for dst in sorted(block.succs):
+            if dst in dist and (best is None or dist[dst] < dist[best]):
+                best = dst
+        exit_succ[block.bid] = best
+    return exit_succ, dist
+
+
+def propagate_units(
+    proc: Procedure,
+    probs: Dict[Tuple[int, int], float],
+    entry_units: int,
+    info: Optional[CfgInfo] = None,
+) -> ProcFlow:
+    """Propagate ``entry_units`` integer flow units through ``proc``.
+
+    ``probs`` comes from
+    :func:`repro.staticpred.heuristics.branch_probabilities`.  The
+    result conserves flow exactly: every block's count equals its
+    inflow and its outflow (RETURN sinks excepted by design).
+    """
+    flow = ProcFlow()
+    if entry_units <= 0:
+        return flow
+    if info is None:
+        info = CfgInfo(proc)
+    blocks = {b.bid: b for b in proc.blocks}
+    exit_succ, _dist = _exit_successors(proc)
+
+    shares: Dict[int, List[Tuple[int, float]]] = {}
+    capped: Dict[int, List[int]] = {}
+    for block in proc.blocks:
+        if not block.succs:
+            continue
+        per_dst: Dict[int, float] = {}
+        order: List[int] = []
+        for dst in block.succs:
+            if dst not in per_dst:
+                per_dst[dst] = 0.0
+                order.append(dst)
+            per_dst[dst] += probs.get((block.bid, dst), 0.0)
+        shares[block.bid] = [(dst, per_dst[dst]) for dst in order]
+        loop = info.innermost_loop(block.bid)
+        if loop is not None:
+            inside = [i for i, dst in enumerate(order) if dst in loop.body]
+            if 0 < len(inside) < len(order):
+                capped[block.bid] = inside
+
+    entry = proc.entry.bid
+    pending: Dict[int, int] = {entry: entry_units}
+    events: Dict[int, int] = {}
+    heap: List[int] = [info.rpo_index(entry)]
+    queued = {entry}
+    while heap:
+        bid = info.rpo[heapq.heappop(heap)]
+        queued.discard(bid)
+        units = pending.pop(bid, 0)
+        if units <= 0:
+            continue
+        flow.counts[bid] = flow.counts.get(bid, 0) + units
+        block = blocks[bid]
+        if not block.succs:
+            flow.return_units[bid] = flow.return_units.get(bid, 0) + units
+            continue
+        events[bid] = events.get(bid, 0) + 1
+        block_shares = shares[bid]
+        if events[bid] > MAX_FREE_EVENTS:
+            target = exit_succ[bid]
+            if target is None:
+                flow.trapped += units
+                continue
+            parts = [units if dst == target else 0
+                     for dst, _p in block_shares]
+        else:
+            parts = apportion(units, [p for _dst, p in block_shares])
+            inside = capped.get(bid)
+            if inside is not None and sum(parts[i] for i in inside) >= units:
+                # Never let the loop keep every unit: move one to the
+                # likeliest exit arm so circulation always decays.
+                outside = [i for i in range(len(parts)) if i not in inside]
+                donor = max(inside, key=lambda i: (parts[i], -i))
+                recv = max(outside, key=lambda i: (block_shares[i][1], -i))
+                parts[donor] -= 1
+                parts[recv] += 1
+        for (dst, _p), part in zip(block_shares, parts):
+            if part <= 0:
+                continue
+            key = (bid, dst)
+            flow.edges[key] = flow.edges.get(key, 0) + part
+            pending[dst] = pending.get(dst, 0) + part
+            if dst not in queued:
+                queued.add(dst)
+                heapq.heappush(heap, info.rpo_index(dst))
+    return flow

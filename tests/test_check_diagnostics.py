@@ -118,7 +118,7 @@ class TestCatalogueIntegrity:
 
     def test_no_undocumented_codes_in_checks_md(self):
         text = DOCS.read_text()
-        documented = set(re.findall(r"`((?:LAY|PRF|QLT|DEP)\d{3})`", text))
+        documented = set(re.findall(r"`((?:LAY|PRF|QLT|STA|DEP)\d{3})`", text))
         unknown = documented - set(CODES)
         assert not unknown, f"docs/CHECKS.md documents unregistered codes: {unknown}"
 

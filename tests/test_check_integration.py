@@ -152,8 +152,9 @@ class TestDeprecationScan:
                 return misses + cache.simulate_direct_mapped(streams)
         """))
         findings = scan_deprecated_calls([str(tmp_path)])
+        # Promoted from warn after the PR-5 deprecation cycle completed.
         assert {(f.code, f.severity.value) for f in findings} == \
-            {("DEP002", "warn")}
+            {("DEP002", "error")}
         assert len(findings) == 2
         messages = " ".join(f.message for f in findings)
         assert "simulate_lru" in messages

@@ -1,0 +1,157 @@
+"""The STA static-vs-measured differential lint family.
+
+Two properties are pinned: a *self-diff* (any profile against itself)
+yields exactly zero findings, and each STA code fires on a crafted
+divergence.  All STA findings are advisories -- the report stays
+``ok`` even when every pass fires.
+"""
+
+from repro.check import check_static_diff
+from repro.ir import Binary, Procedure, Terminator
+from repro.profiles import Profile
+from repro.staticpred import synthesize_profile
+
+from tests.test_staticpred import make_call_binary
+
+
+def make_two_loop_binary():
+    """One procedure with two sequential natural loops (h1, h2)."""
+    binary = Binary()
+    proc = Procedure("p")
+    proc.add_block("e", 2, Terminator.FALLTHROUGH, succs=("h1",))
+    proc.add_block("h1", 2, Terminator.COND_BRANCH, succs=("b1", "h2"))
+    proc.add_block("b1", 2, Terminator.UNCOND_BRANCH, succs=("h1",))
+    proc.add_block("h2", 2, Terminator.COND_BRANCH, succs=("b2", "out"))
+    proc.add_block("b2", 2, Terminator.UNCOND_BRANCH, succs=("h2",))
+    proc.add_block("out", 2, Terminator.RETURN)
+    binary.add_procedure(proc)
+    binary.seal()
+    return binary
+
+
+def make_two_proc_binary():
+    """Two straight-line six-block procedures (disjoint hot sets)."""
+    binary = Binary()
+    for name in ("alpha", "beta"):
+        proc = Procedure(name)
+        for i in range(5):
+            proc.add_block(f"s{i}", 2, Terminator.FALLTHROUGH,
+                           succs=(f"s{i + 1}",))
+        proc.add_block("s5", 2, Terminator.RETURN)
+        binary.add_procedure(proc)
+    binary.seal()
+    return binary
+
+
+def codes(report):
+    return [d.code for d in report.diagnostics]
+
+
+class TestSelfDiffIsClean:
+    def test_synthesized_self_diff_has_zero_findings(self):
+        binary = make_call_binary()
+        profile = synthesize_profile(binary)
+        report = check_static_diff(binary, profile, profile)
+        assert not report.diagnostics, report.render()
+        assert report.ok
+
+    def test_handmade_self_diff_has_zero_findings(self):
+        binary = make_two_loop_binary()
+        proc = binary.proc("p")
+        profile = Profile(binary)
+        profile.block_counts[proc.block("h1").bid] = 1000
+        profile.block_counts[proc.block("b1").bid] = 990
+        profile.block_counts[proc.block("h2").bid] = 10
+        profile.edge_counts[(proc.block("h1").bid,
+                             proc.block("b1").bid)] = 990
+        report = check_static_diff(binary, profile, profile)
+        assert not report.diagnostics, report.render()
+
+
+class TestEachCodeFires:
+    def test_sta001_hot_set_divergence(self):
+        binary = make_two_proc_binary()
+        measured, static = Profile(binary), Profile(binary)
+        for block in binary.proc("alpha").blocks:
+            measured.block_counts[block.bid] = 100
+        for block in binary.proc("beta").blocks:
+            static.block_counts[block.bid] = 100
+            measured.block_counts[block.bid] = 1  # sampled, so not STA004
+        for block in binary.proc("alpha").blocks:
+            static.block_counts[block.bid] = 1
+        report = check_static_diff(binary, measured, static)
+        assert "STA001" in codes(report)
+        assert report.ok  # advisories only
+
+    def test_sta002_branch_direction_misprediction(self):
+        binary = make_two_loop_binary()
+        proc = binary.proc("p")
+        h1 = proc.block("h1").bid
+        b1, h2 = proc.block("b1").bid, proc.block("h2").bid
+        measured, static = Profile(binary), Profile(binary)
+        measured.block_counts[h1] = 1000
+        measured.edge_counts[(h1, b1)] = 900
+        measured.edge_counts[(h1, h2)] = 100
+        static.block_counts[h1] = 60
+        static.edge_counts[(h1, b1)] = 10
+        static.edge_counts[(h1, h2)] = 50
+        findings = [d for d in check_static_diff(
+            binary, measured, static).diagnostics if d.code == "STA002"]
+        assert len(findings) == 1
+        assert findings[0].severity.value == "warn"
+        assert "p.h1" in findings[0].message
+
+    def test_sta002_respects_the_decisive_margin(self):
+        binary = make_two_loop_binary()
+        proc = binary.proc("p")
+        h1 = proc.block("h1").bid
+        b1, h2 = proc.block("b1").bid, proc.block("h2").bid
+        measured, static = Profile(binary), Profile(binary)
+        measured.block_counts[h1] = 1000
+        measured.edge_counts[(h1, b1)] = 55   # 55:45 -- too close to call
+        measured.edge_counts[(h1, h2)] = 45
+        static.edge_counts[(h1, b1)] = 1
+        static.edge_counts[(h1, h2)] = 99
+        report = check_static_diff(binary, measured, static)
+        assert "STA002" not in codes(report)
+
+    def test_sta003_loop_rank_inversion(self):
+        binary = make_two_loop_binary()
+        proc = binary.proc("p")
+        h1, h2 = proc.block("h1").bid, proc.block("h2").bid
+        measured, static = Profile(binary), Profile(binary)
+        measured.block_counts[h1] = 1000
+        measured.block_counts[h2] = 100
+        static.block_counts[h1] = 10
+        static.block_counts[h2] = 500
+        findings = [d for d in check_static_diff(
+            binary, measured, static).diagnostics if d.code == "STA003"]
+        assert len(findings) == 1
+        assert "inverted" in findings[0].message
+
+    def test_sta004_statically_cold_measured_hot(self):
+        binary = make_two_loop_binary()
+        proc = binary.proc("p")
+        h1, b1 = proc.block("h1").bid, proc.block("b1").bid
+        measured, static = Profile(binary), Profile(binary)
+        measured.block_counts[h1] = 1000
+        measured.block_counts[b1] = 990
+        static.block_counts[h1] = 500  # b1 carries zero static flow
+        findings = [d for d in check_static_diff(
+            binary, measured, static).diagnostics if d.code == "STA004"]
+        assert len(findings) == 1
+        assert "'p'" in findings[0].message
+
+    def test_sta005_unreached_but_sampled(self):
+        binary = make_two_loop_binary()
+        proc = binary.proc("p")
+        h1, out = proc.block("h1").bid, proc.block("out").bid
+        measured, static = Profile(binary), Profile(binary)
+        measured.block_counts[h1] = 1000  # hot set is {h1} alone
+        measured.block_counts[out] = 5    # sampled, not hot
+        static.block_counts[h1] = 1000
+        report = check_static_diff(binary, measured, static)
+        findings = [d for d in report.diagnostics if d.code == "STA005"]
+        assert len(findings) == 1
+        assert findings[0].severity.value == "info"
+        assert report.ok

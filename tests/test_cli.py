@@ -297,3 +297,53 @@ class TestLint:
             "lint", "--combo", "base", "--strict", "--scan", str(caller)
         )
         assert code == 1
+
+
+class TestLintScanOnly:
+    def test_scan_only_gates_strict_on_dep_findings(self, tmp_path):
+        """Regression: with --scan as the only selection, the artifact
+        lint is skipped entirely and --strict still exits non-zero on
+        AST-scan findings alone."""
+        caller = tmp_path / "caller.py"
+        caller.write_text(
+            "from repro.cache import simulate_lru\n\n"
+            "def f(streams, geometry):\n"
+            "    return simulate_lru(streams, geometry)\n"
+        )
+        code, text = run_cli("lint", "--scan", str(caller), "--strict")
+        assert code == 1
+        assert "DEP002" in text
+        # No artifact lint ran: no layout/profile family in the report.
+        assert "LAY" not in text and "PRF" not in text
+
+    def test_scan_only_without_strict_exits_zero(self, tmp_path):
+        caller = tmp_path / "caller.py"
+        caller.write_text("def f(exp):\n    return exp.app_streams('all')\n")
+        code, text = run_cli("lint", "--scan", str(caller))
+        assert code == 0
+        assert "DEP001" in text
+
+
+class TestProfileSourceFlags:
+    def test_scenarios_list_shows_the_override(self):
+        code, out = run_cli(
+            "scenarios", "list", "--select", "tpcb-i32",
+            "--profile-source", "static",
+        )
+        assert code == 0
+        assert "static" in out
+
+    def test_static_bench_single_cell(self):
+        code, text = run_cli(
+            "static-bench", "--select", "tpcb-i32", "--quiet"
+        )
+        assert code == 0
+        assert "tpcb-i32_static" in text
+        assert "oltp_static_gate_ok" in text
+
+    def test_lint_static_diff_reports_advisories_only(self):
+        code, text = run_cli(
+            "lint", "--combo", "base", "--static-diff", "--quiet",
+        )
+        assert code == 0
+        assert "static-diff:app" in text or "0 warning(s)" not in text

@@ -234,3 +234,33 @@ class TestRegistry:
         assert {s.engine for s in specs} == {"batched", "classic"}
         assert any(s.drift == "shift" for s in specs)
         assert len({s.name for s in specs}) == len(specs)
+
+
+class TestProfileSourceAxis:
+    def test_default_is_measured(self):
+        assert spec().profile_source == "measured"
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(ScenarioError, match="profile source"):
+            spec(profile_source="psychic").validate()
+
+    def test_measured_keeps_the_pre_axis_fingerprint(self):
+        """The axis addition must not invalidate cached measured cells:
+        ``profile_source`` only contributes to the canonical payload
+        when it departs from the default."""
+        assert "profile_source" not in spec().canonical()
+        assert (
+            spec(profile_source="measured").fingerprint()
+            == spec().fingerprint()
+        )
+
+    def test_static_and_hybrid_fingerprint_differently(self):
+        prints = {
+            spec(profile_source=source).fingerprint()
+            for source in ("measured", "static", "hybrid")
+        }
+        assert len(prints) == 3
+
+    def test_round_trips_through_dict(self):
+        cell = spec(profile_source="hybrid").validate()
+        assert ScenarioSpec.from_dict(cell.to_dict()) == cell

@@ -16,6 +16,7 @@ from repro.serve.protocol import (
     SOURCE_BUILT,
     SOURCE_COALESCED,
     SOURCE_MEMORY,
+    SOURCE_STATIC,
     STATUS_OK,
     ErrorResponse,
     HealthRequest,
@@ -76,20 +77,55 @@ class TestRequestHandling:
         assert health.counters.get("serve.optimizations", 0) >= 1
         assert health.counters.get("serve.cache_hits", 0) >= 1
 
-    def test_unknown_fingerprint_is_an_error(self, running_server, serve_env):
+    def test_unknown_fingerprint_is_an_error(self, serve_env, tmp_path):
+        # With the static cold-start fallback disabled, an unknown
+        # fingerprint is refused outright (the pre-fallback behaviour).
+        binary, (profile, _) = serve_env
+        handle = ServerThread.start(
+            binary,
+            store=None,
+            config=ServerConfig(workers=0, static_fallback=False),
+        )
+        try:
+            client = make_client(handle, max_attempts=1)
+            reply = client._call(LayoutRequest("not-a-fingerprint", "all"))
+            assert isinstance(reply, LayoutResponse)
+            assert reply.status == "error"
+            assert "unknown profile fingerprint" in reply.error
+            # fetch_layout degrades the same error into ServeError when
+            # the client holds no fallback: skip the submission so the
+            # server has never seen this profile's fingerprint.
+            cold = make_client(handle, max_attempts=1)
+            cold._submitted.add(profile.fingerprint())
+            with pytest.raises(ServeError, match="no\\s+last-known-good"):
+                cold.fetch_layout(profile, "all")
+        finally:
+            handle.stop()
+
+    def test_cold_start_serves_gated_static_layout(
+        self, running_server, serve_env
+    ):
+        # Default config: a layout_request whose fingerprint the server
+        # has never seen gets a layout synthesized from static program
+        # structure -- gated by repro.check -- instead of an error.
         _, (profile, _) = serve_env
         client = make_client(running_server, max_attempts=1)
-        reply = client._call(LayoutRequest("not-a-fingerprint", "all"))
+        before = counter_value("serve.static_served")
+        reply = client._call(LayoutRequest("never-submitted", "all"))
         assert isinstance(reply, LayoutResponse)
-        assert reply.status == "error"
-        assert "unknown profile fingerprint" in reply.error
-        # fetch_layout degrades the same error into ServeError when the
-        # client holds no fallback: skip the submission so the server
-        # has never seen this profile's fingerprint.
-        cold = make_client(running_server, max_attempts=1)
-        cold._submitted.add(profile.fingerprint())
-        with pytest.raises(ServeError, match="no\\s+last-known-good"):
-            cold.fetch_layout(profile, "all")
+        assert reply.ok
+        assert reply.source == SOURCE_STATIC
+        assert reply.layout["units"]
+        assert counter_value("serve.static_served") == before + 1
+        # The per-combo static document is built once and reused.
+        again = client._call(LayoutRequest("also-never-submitted", "all"))
+        assert again.ok and again.source == SOURCE_STATIC
+        assert again.layout == reply.layout
+        assert counter_value("serve.static_served") == before + 2
+        # A submitted profile still takes the measured path.
+        client.submit_profile(profile)
+        measured = client.fetch_layout(profile, "all")
+        assert measured.ok and measured.source == SOURCE_BUILT
 
     def test_bad_combo_is_an_error(self, running_server, serve_env):
         _, (profile, _) = serve_env

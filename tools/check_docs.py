@@ -42,6 +42,7 @@ AUDITED_PACKAGES = (
     "repro.sim",
     "repro.serve",
     "repro.scenarios",
+    "repro.staticpred",
 )
 
 #: Markdown files whose relative links must resolve.
