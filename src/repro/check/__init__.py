@@ -25,7 +25,6 @@ from repro.check.api import (
     verify_layout,
 )
 from repro.check.deprecations import (
-    DEPRECATED_APIS,
     DEPRECATED_SIMULATORS,
     scan_deprecated_calls,
 )
@@ -49,7 +48,6 @@ __all__ = [
     "CheckContext",
     "CheckReport",
     "CheckRunner",
-    "DEPRECATED_APIS",
     "DEPRECATED_SIMULATORS",
     "Diagnostic",
     "Severity",

@@ -1,21 +1,25 @@
-"""Deprecated/removed-API call-site scanning (the ``DEP*`` family).
+"""Deprecated-API call-site scanning (the ``DEP*`` family).
 
 Runtime shims only speak up when something actually calls them -- the
-``repro.cache.simulate_*`` wrappers warn once per process, and the
-removed ``Experiment.*_streams`` accessors raise.  This scanner finds
-every call site *statically* -- an AST walk over the repository's
-Python sources -- so ``repro lint`` shows the full migration backlog
-at once:
+``repro.cache.simulate_*`` wrappers warn once per process.  This
+scanner finds every call site *statically* -- an AST walk over the
+repository's Python sources -- so ``repro lint`` shows the full
+migration backlog at once:
 
-* ``DEP001`` (error): a call site still uses one of the **removed**
-  ``*_streams`` accessors; it will raise
-  :class:`~repro.errors.RemovedAPIError` at runtime.
+* ``DEP000`` (info): a scanned file could not be parsed, so its call
+  sites are unknown.
 * ``DEP002`` (error): a call site uses one of the **deprecated**
   per-level simulators instead of the :func:`repro.sim.simulate`
   facade.  It still works at runtime (one ``DeprecationWarning`` per
   process), but the deprecation ladder is complete -- first-party code
   has been clean for two releases -- so the lint now gates on it: the
   next step removes the wrappers entirely.
+
+The ``DEP001`` row (the removed ``Experiment.*_streams`` accessors)
+completed the full ladder -- warn, ``RemovedAPIError``, deletion -- and
+was retired with the shims themselves: the attributes no longer exist,
+so a surviving caller fails loudly with ``AttributeError`` at runtime
+and needs no static scan.
 """
 
 from __future__ import annotations
@@ -25,16 +29,6 @@ from pathlib import Path
 from typing import Dict, Iterable, Iterator, List
 
 from repro.check.diagnostics import Diagnostic, Severity
-
-#: Removed attribute/method names -> the replacement to suggest.
-#: Kept in sync with the runtime ``Experiment._removed`` stubs (a
-#: test cross-references the two).
-DEPRECATED_APIS: Dict[str, str] = {
-    "app_streams": 'streams(combo, scope="app")',
-    "kernel_streams": 'streams(scope="kernel", kernel_combo=...)',
-    "combined_streams": 'streams(combo, scope="combined")',
-    "per_process_streams": 'streams(combo, scope="per-process")',
-}
 
 #: Deprecated simulator entry points -> the facade replacement.
 #: Kept in sync with the warn-once wrappers in ``repro.cache``.
@@ -55,22 +49,12 @@ def _scan_source(text: str, path: str) -> Iterator[Diagnostic]:
         tree = ast.parse(text, filename=path)
     except SyntaxError as exc:
         yield Diagnostic(
-            "DEP001", Severity.INFO,
+            "DEP000", Severity.INFO,
             f"could not parse {path}: {exc.msg}",
             target=path,
         )
         return
     for node in ast.walk(tree):
-        # The removed APIs are methods, so every interesting site is an
-        # attribute access (bare-name definitions inside experiment.py
-        # itself are the stubs, not callers).
-        if isinstance(node, ast.Attribute) and node.attr in DEPRECATED_APIS:
-            yield Diagnostic(
-                "DEP001", Severity.ERROR,
-                f"call site uses removed API {node.attr!r}",
-                target=path, location=f"line {node.lineno}",
-                hint=f"use {DEPRECATED_APIS[node.attr]} instead",
-            )
         # The deprecated simulators are module functions: both bare
         # names (``simulate_lru(...)``) and attribute references
         # (``cache.simulate_lru(...)``) are call-site shapes; plain
@@ -91,8 +75,6 @@ def _scan_source(text: str, path: str) -> Iterator[Diagnostic]:
 
 def _is_definition_module(path: Path) -> bool:
     """True for the modules that define the shims themselves."""
-    if path.name == "experiment.py" and path.parent.name == "harness":
-        return True  # the removed *_streams stubs
     if path.parent.name in ("cache", "sim") and path.parent.parent.name == "repro":
         return True  # the deprecated simulator wrappers + new engine
     return False
@@ -106,8 +88,8 @@ def scan_deprecated_calls(
     Args:
         roots: Files or directories to walk (``.py`` files only).
         skip_definitions: Leave out the modules that *define* the shims
-            (``harness/experiment.py``, ``repro/cache/*``,
-            ``repro/sim/*``) so the report lists only real callers.
+            (``repro/cache/*``, ``repro/sim/*``) so the report lists
+            only real callers.
     """
     diagnostics: List[Diagnostic] = []
     for root in roots:

@@ -77,7 +77,7 @@ CODES: Dict[str, str] = {
     "STA004": "statically-cold block is hot under measurement",
     "STA005": "measured block carries zero static flow (statically unreached)",
     # -- deprecations (DEP*) ------------------------------------------
-    "DEP001": "call site uses a removed API",
+    "DEP000": "source file could not be parsed by the deprecation scanner",
     "DEP002": "call site uses a deprecated simulator entry point",
 }
 

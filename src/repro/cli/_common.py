@@ -1,0 +1,141 @@
+"""Shared plumbing for the ``repro`` CLI subcommand modules.
+
+Every subcommand family module (:mod:`repro.cli.figures`,
+:mod:`repro.cli.serving`, ...) builds on the same pieces defined here:
+the figure registry, the shared flag set added both to the root parser
+and to each subcommand's ``add_help=False`` parent, the
+experiment/store factories that honour those flags, and the per-stage
+run-log emission on stderr.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Callable, Dict
+
+from repro.harness import (
+    ArtifactStore,
+    default_cache_dir,
+    default_experiment,
+    figures,
+    quick_experiment,
+)
+
+#: figure name -> callable(exp, engine) returning one or more Tables.
+#: Only the direct-mapped sweep figures consume ``engine``.
+FIGURES: Dict[str, Callable] = {
+    "fig03": lambda exp, engine: [figures.fig03_execution_profile(exp)],
+    "fig04": lambda exp, engine: [
+        figures.fig04_table(
+            figures.fig04_cache_sweep(exp, combo, engine=engine), combo
+        )
+        for combo in ("base", "all")
+    ],
+    "fig05": lambda exp, engine: [
+        figures.fig05_relative(
+            figures.fig04_cache_sweep(exp, "base", engine=engine),
+            figures.fig04_cache_sweep(exp, "all", engine=engine),
+        )
+    ],
+    "fig06": lambda exp, engine: [figures.fig06_associativity(exp)],
+    "fig07": lambda exp, engine: [figures.fig07_ablation(exp)],
+    "fig08": lambda exp, engine: list(figures.fig08_sequences(exp)),
+    "fig12": lambda exp, engine: [
+        figures.fig12_combined(exp, "base"),
+        figures.fig12_combined(exp, "all"),
+    ],
+    "fig13": lambda exp, engine: [
+        figures.fig13_interference(exp, "base"),
+        figures.fig13_interference(exp, "all"),
+    ],
+    "fig14": lambda exp, engine: [figures.fig14_itlb_l2(exp)],
+    "fig15": lambda exp, engine: [figures.fig15_exec_time(exp)],
+    "packing": lambda exp, engine: [figures.text_packing(exp)],
+}
+
+
+def default_jobs() -> int:
+    """Worker-count default: ``$REPRO_JOBS`` or serial."""
+    return int(os.environ.get("REPRO_JOBS", "1") or "1")
+
+
+def add_shared_flags(parser: argparse.ArgumentParser, suppress: bool) -> None:
+    """The flags every command understands, defined once.
+
+    Added twice: to the root parser with real defaults, and to the
+    ``add_help=False`` parent each subcommand inherits with SUPPRESS
+    defaults -- so ``repro --jobs 4 figure ...`` and ``repro figure ...
+    --jobs 4`` both work, and a flag omitted after the subcommand never
+    clobbers one given before it.
+    """
+
+    def default(value):
+        return argparse.SUPPRESS if suppress else value
+
+    parser.add_argument(
+        "--full", action="store_true", default=default(False),
+        help="use the paper-scale experiment (slower; benchmark default)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=default(default_jobs()), metavar="N",
+        help="worker processes for sweep fan-out (default $REPRO_JOBS or 1; "
+        "-1 = one per CPU); output is bit-identical to serial",
+    )
+    parser.add_argument(
+        "--cache-dir", default=default(None), metavar="PATH",
+        help=f"artifact cache directory (default {default_cache_dir()})",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", default=default(False),
+        help="disable the persistent artifact cache for this run",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", default=default(False),
+        help="suppress the per-stage run log on stderr",
+    )
+    parser.add_argument(
+        "--trace", default=default(None), metavar="PATH",
+        help="record observability spans to a JSONL trace file "
+        "(view with 'report' or 'trace-export')",
+    )
+
+
+def store_from(args) -> ArtifactStore:
+    """The artifact store selected by ``--cache-dir``."""
+    return ArtifactStore(args.cache_dir or default_cache_dir())
+
+
+def experiment_from(args):
+    """The quick/full experiment configured by the shared flags."""
+    exp = default_experiment() if args.full else quick_experiment()
+    exp.jobs = args.jobs
+    exp.attach_store(None if args.no_cache else store_from(args))
+    # Commands without the flag (info, lint, ...) keep the measured
+    # default; ``serve`` interprets the flag itself.
+    if args.command not in ("serve",):
+        exp.profile_source = getattr(args, "profile_source", "measured")
+    return exp
+
+
+def warm(exp) -> None:
+    """Touch every expensive stage so the run log covers the whole
+    pipeline (codegen, profile, trace) even when layouts are cached."""
+    _ = exp.app
+    _ = exp.kernel
+    _ = exp.profile
+    _ = exp.trace
+
+
+def emit_runlog(exp, args) -> None:
+    """Render the experiment's per-stage run log to stderr."""
+    if args.quiet or not exp.runlog.records:
+        return
+    cache = "off" if exp.store is None else str(exp.store.root)
+    sys.stderr.write(
+        exp.runlog.render(
+            header=f"run log: fingerprint={exp.fingerprint} "
+            f"jobs={exp.jobs} cache={cache}"
+        )
+    )

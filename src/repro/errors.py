@@ -73,6 +73,19 @@ class ParallelError(ReproError):
     task index so sweeps can report which cell hung or died."""
 
 
+class PipelineError(ReproError):
+    """A stage graph is malformed (duplicate stage keys, unknown
+    inputs, a dependency cycle) or a runner was asked to execute a
+    stage the graph does not declare."""
+
+
+class StageGateError(PipelineError):
+    """A freshly built stage value failed its declared gate hook.
+    Cached values that fail the gate silently degrade to a rebuild;
+    only a *fresh* build failing is an error the caller must handle
+    (fall back, retry, or surface)."""
+
+
 class ScenarioError(ReproError):
     """A scenario specification is invalid (unknown workload kind,
     incompatible engine/hierarchy pair, malformed matrix file) or a

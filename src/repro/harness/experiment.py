@@ -4,16 +4,20 @@ One :class:`Experiment` owns everything the figures need: the generated
 application and kernel binaries, the Pixie profile (collected on its own
 profiling run, like the paper's 2000-transaction Pixie run), the
 optimized layouts, and the measurement trace (a separate run with a
-different request stream).  Every intermediate product is computed once
-and cached in memory, so the per-figure benchmarks stay cheap.
+different request stream).  Every intermediate product is a declared
+:class:`~repro.pipeline.stage.Stage` in one
+:class:`~repro.pipeline.graph.StageGraph`, executed (and memoized) by a
+:class:`~repro.pipeline.runner.PipelineRunner` — see ``docs/PIPELINE.md``.
 
 Attach an :class:`~repro.harness.store.ArtifactStore` (``store=`` or
 :meth:`Experiment.attach_store`) and the expensive stage products are
 *also* persisted on disk, keyed by :meth:`ExperimentConfig.fingerprint`:
 warm reruns of any figure load the compiled programs, profiles, trace,
 and per-combo layouts straight from the cache instead of regenerating
-them.  Every stage records wall time and cache hit/miss in the
-experiment's :class:`~repro.harness.runlog.RunLog`.
+them.  The artifact names and cache keys are unchanged from the
+pre-pipeline harness, so existing cache directories replay warm.  Every
+stage records wall time and cache hit/miss in the experiment's
+:class:`~repro.harness.runlog.RunLog`.
 """
 
 from __future__ import annotations
@@ -23,14 +27,17 @@ import json
 import os
 from dataclasses import asdict, dataclass, field, replace
 from functools import lru_cache
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.deprecation import reset_deprecation_warnings  # noqa: F401  (re-export)
-from repro.errors import ConfigError, RemovedAPIError, SimulationError
+from repro.deprecation import (  # noqa: F401  (reset re-exported for tests)
+    reset_deprecation_warnings,
+    warn_once,
+)
+from repro.errors import ConfigError, SimulationError
 from repro.execution import CombinedAddressMap, OltpSystem, SystemConfig, SystemTrace
-from repro.harness.runlog import CACHE_HIT, CACHE_MISS, CACHE_OFF, RunLog
+from repro.harness.runlog import RunLog
 from repro.harness.store import (
     ArtifactStore,
     load_layout,
@@ -45,6 +52,7 @@ from repro.harness.store import (
 from repro.ir import Layout, assign_addresses, baseline_layout
 from repro.layout import Combo, SpikeOptimizer
 from repro.osmodel import KernelCodeConfig, build_kernel_program
+from repro.pipeline import ArtifactSpec, PipelineRunner, Stage, StageGraph
 from repro.profiles import PixieProfiler, Profile
 from repro.progen import AppCodeConfig, CompiledProgram, build_app_program
 from repro.staticpred import (
@@ -164,7 +172,15 @@ class StreamSet:
 
 
 class Experiment:
-    """Lazily computed pipeline with caching at every stage."""
+    """Lazily computed pipeline with caching at every stage.
+
+    Every cacheable product is a declared stage in :attr:`pipeline`'s
+    graph; combo-specific layout stages are declared on first request.
+    Three products deliberately stay *outside* the graph: the baseline
+    kernel layout (trivial to rebuild, never persisted) and the
+    fault-injected (``REPRO_STATIC_INVERT``) source layouts, which must
+    never pollute — or be satisfied from — the clean cache.
+    """
 
     def __init__(
         self,
@@ -184,20 +200,16 @@ class Experiment:
         self.profile_source = "measured"
         self.runlog = RunLog()
         self._fingerprint: Optional[str] = None
-        self._app: Optional[CompiledProgram] = None
-        self._kernel: Optional[CompiledProgram] = None
-        self._profile: Optional[Profile] = None
-        self._kernel_profile: Optional[Profile] = None
+        self._pipeline: Optional[PipelineRunner] = None
         self._optimizer: Optional[SpikeOptimizer] = None
         self._kernel_optimizer: Optional[SpikeOptimizer] = None
-        self._layouts: Dict[str, Layout] = {}
+        #: Baseline kernel layout only; optimized combos live in the graph.
         self._kernel_layouts: Dict[str, Layout] = {}
-        self._static_profiles: Dict[bool, Profile] = {}
+        #: Fault-injected (invert-mode) layouts only; see class docstring.
         self._source_optimizers: Dict[Tuple[str, bool], SpikeOptimizer] = {}
         self._source_layouts: Dict[Tuple[str, str], Layout] = {}
         self._kernel_source_layouts: Dict[Tuple[str, str], Layout] = {}
         self._amaps: Dict[Tuple[str, str, str], CombinedAddressMap] = {}
-        self._trace: Optional[SystemTrace] = None
 
     # -- cache plumbing -----------------------------------------------------
 
@@ -207,6 +219,79 @@ class Experiment:
         if self._fingerprint is None:
             self._fingerprint = self.config.fingerprint()
         return self._fingerprint
+
+    def _build_graph(self) -> StageGraph:
+        """Declare the always-present stages of the experiment pipeline.
+
+        Per-combo layout stages are declared lazily by :meth:`layout`
+        and friends, because the combo space is open-ended.
+        """
+        graph = StageGraph()
+        graph.add(Stage(
+            name="codegen", detail="app",
+            outputs=(ArtifactSpec("app.pkl", load_program, save_program),),
+            build=lambda _: build_app_program(self.config.app),
+        ))
+        graph.add(Stage(
+            name="codegen", detail="kernel",
+            outputs=(ArtifactSpec("kernel.pkl", load_program, save_program),),
+            build=lambda _: build_kernel_program(self.config.kernel),
+        ))
+        graph.add(Stage(
+            name="profile",
+            inputs=("codegen:app", "codegen:kernel"),
+            outputs=(
+                ArtifactSpec(
+                    "profile-app.npz",
+                    lambda path: load_profile(self.app.binary, path),
+                    save_profile,
+                ),
+                ArtifactSpec(
+                    "profile-kernel.npz",
+                    lambda path: load_profile(self.kernel.binary, path),
+                    save_profile,
+                ),
+            ),
+            build=lambda _: self._profile_from_run(),
+        ))
+        graph.add(Stage(
+            name="trace",
+            inputs=("codegen:app", "codegen:kernel"),
+            outputs=(ArtifactSpec("trace.npz", load_trace, save_trace),),
+            build=lambda _: self._run_system(
+                self.config.measure_transactions, 1
+            ),
+        ))
+        # Transient (never persisted): deterministic per binary, and
+        # needing no profiling run — cold-start consumers (repro serve)
+        # reach them without ever touching the measured profile.
+        graph.add(Stage(
+            name="staticpred", detail="app", inputs=("codegen:app",),
+            build=lambda _: synthesize_profile(self.app.binary),
+        ))
+        graph.add(Stage(
+            name="staticpred", detail="kernel", inputs=("codegen:kernel",),
+            build=lambda _: synthesize_profile(self.kernel.binary),
+        ))
+        return graph
+
+    @property
+    def pipeline(self) -> PipelineRunner:
+        """The stage-graph runner behind every cacheable product.
+
+        The runner's store tracks :attr:`store` on every access, so
+        toggling the experiment's cache (``attach_store``) is always
+        reflected in subsequent stage executions.
+        """
+        if self._pipeline is None:
+            self._pipeline = PipelineRunner(
+                self._build_graph(),
+                store=self.store,
+                fingerprint=self.fingerprint,
+                runlog=self.runlog,
+            )
+        self._pipeline.store = self.store
+        return self._pipeline
 
     def attach_store(self, store: Optional[ArtifactStore]) -> "Experiment":
         """Set (or clear, with None) the persistent artifact store.
@@ -219,92 +304,50 @@ class Experiment:
 
     def persist(self) -> int:
         """Write in-memory stage products missing from the store;
-        returns the number of artifacts written."""
+        returns the number of artifacts written.
+
+        Delegates to :meth:`~repro.pipeline.runner.PipelineRunner.persist`,
+        which iterates every *declared* stage — a newly added stage is
+        persisted automatically instead of silently skipped the way the
+        old hand-maintained artifact list allowed."""
         if self.store is None:
             return 0
-        artifacts = [
-            ("app.pkl", self._app, save_program),
-            ("kernel.pkl", self._kernel, save_program),
-            ("profile-app.npz", self._profile, save_profile),
-            ("profile-kernel.npz", self._kernel_profile, save_profile),
-            ("trace.npz", self._trace, save_trace),
-        ]
-        artifacts += [
-            (f"layout-{combo}.json", layout, save_layout)
-            for combo, layout in self._layouts.items()
-        ]
-        artifacts += [
-            (f"klayout-{combo}.json", layout, save_layout)
-            for combo, layout in self._kernel_layouts.items()
-            if combo != "base"  # baseline is trivial to rebuild
-        ]
-        if not invert_enabled():  # fault-injected layouts never persist
-            artifacts += [
-                (f"layout-{source}-{combo}.json", layout, save_layout)
-                for (source, combo), layout in self._source_layouts.items()
-            ]
-            artifacts += [
-                (f"klayout-{source}-{combo}.json", layout, save_layout)
-                for (source, combo), layout
-                in self._kernel_source_layouts.items()
-            ]
-        written = 0
-        for name, obj, saver in artifacts:
-            if obj is not None and not self.store.has(self.fingerprint, name):
-                if self._store_save(name, obj, saver):
-                    written += 1
-        return written
-
-    def _store_load(self, name: str, loader):
-        """Load one artifact; any failure (missing, corrupt, stale)
-        degrades to a miss so the stage recomputes."""
-        if self.store is None:
-            return None
-        return self.store.load(self.fingerprint, name, loader)
-
-    def _store_save(self, name: str, obj, saver) -> int:
-        """Persist one artifact; returns bytes written (0 when off)."""
-        if self.store is None:
-            return 0
-        return self.store.save(self.fingerprint, name, obj, saver)
+        return self.pipeline.persist()
 
     def _staged(self, stage: str, detail: str, name: str, loader, builder, saver):
-        """Run one cacheable stage: disk load, else build + persist."""
-        with self.runlog.stage(stage, detail) as record:
-            obj = self._store_load(name, loader)
-            if obj is not None:
-                record.cache = CACHE_HIT
-                return obj
-            obj = builder()
-            record.cache = CACHE_OFF if self.store is None else CACHE_MISS
-            record.bytes = self._store_save(name, obj, saver)
-            return obj
+        """Deprecated: run one ad-hoc cacheable stage.
+
+        Historical entry point from before the stage graph; it now
+        declares a single-output :class:`~repro.pipeline.stage.Stage`
+        on the experiment's graph and executes it through the runner.
+        Declare stages directly instead.
+        """
+        warn_once(
+            "experiment-staged",
+            "Experiment._staged() is deprecated; declare a repro.pipeline "
+            "Stage on Experiment.pipeline.graph instead",
+        )
+        key = f"{stage}:{detail}" if detail else stage
+        runner = self.pipeline
+        if key not in runner.graph:
+            runner.graph.add(Stage(
+                name=stage, detail=detail,
+                outputs=(ArtifactSpec(name, loader, saver),),
+                build=lambda _: builder(),
+            ))
+        return runner.value(key)
 
     # -- programs -----------------------------------------------------------
 
     @property
     def app(self) -> CompiledProgram:
         """The compiled application binary (cached stage product)."""
-        if self._app is None:
-            self._app = self._staged(
-                "codegen", "app", "app.pkl",
-                loader=load_program,
-                builder=lambda: build_app_program(self.config.app),
-                saver=save_program,
-            )
-        return self._app
+        return self.pipeline.value("codegen:app")
 
     @property
     def kernel(self) -> CompiledProgram:
         """The compiled kernel binary (cached stage product)."""
-        if self._kernel is None:
-            self._kernel = self._staged(
-                "codegen", "kernel", "kernel.pkl",
-                loader=load_program,
-                builder=lambda: build_kernel_program(self.config.kernel),
-                saver=save_program,
-            )
-        return self._kernel
+        return self.pipeline.value("codegen:kernel")
 
     # -- profiling run ----------------------------------------------------------
 
@@ -341,35 +384,12 @@ class Experiment:
     @property
     def profile(self) -> Profile:
         """Pixie profile of the application (profiling run)."""
-        if self._profile is None:
-            with self.runlog.stage("profile") as record:
-                app_profile = self._store_load(
-                    "profile-app.npz",
-                    lambda path: load_profile(self.app.binary, path),
-                )
-                kernel_profile = self._store_load(
-                    "profile-kernel.npz",
-                    lambda path: load_profile(self.kernel.binary, path),
-                )
-                if app_profile is not None and kernel_profile is not None:
-                    record.cache = CACHE_HIT
-                else:
-                    app_profile, kernel_profile = self._profile_from_run()
-                    record.cache = CACHE_OFF if self.store is None else CACHE_MISS
-                    record.bytes = self._store_save(
-                        "profile-app.npz", app_profile, save_profile
-                    ) + self._store_save(
-                        "profile-kernel.npz", kernel_profile, save_profile
-                    )
-                self._profile = app_profile
-                self._kernel_profile = kernel_profile
-        return self._profile
+        return self.pipeline.value("profile")[0]
 
     @property
     def kernel_profile(self) -> Profile:
         """The kernel-side Pixie profile from the profiling run."""
-        _ = self.profile  # ensures the profiling run happened
-        return self._kernel_profile
+        return self.pipeline.value("profile")[1]
 
     # -- layouts ---------------------------------------------------------------------
 
@@ -399,29 +419,42 @@ class Experiment:
         """The application layout for one combination.  Unknown combo
         names raise LayoutError listing the valid ones."""
         combo = Combo.parse(combo).value
-        if combo not in self._layouts:
-            self._layouts[combo] = self._staged(
-                "layout", combo, f"layout-{combo}.json",
-                loader=lambda path: load_layout(path, self.app.binary),
-                builder=lambda: self.optimizer.layout(combo),
-                saver=save_layout,
-            )
-        return self._layouts[combo]
+        runner = self.pipeline
+        key = f"layout:{combo}"
+        if key not in runner.graph:
+            runner.graph.add(Stage(
+                name="layout", detail=combo,
+                inputs=("profile",),
+                outputs=(ArtifactSpec(
+                    f"layout-{combo}.json",
+                    lambda path: load_layout(path, self.app.binary),
+                    save_layout,
+                ),),
+                build=lambda _: self.optimizer.layout(combo),
+            ))
+        return runner.value(key)
 
     def kernel_layout(self, combo: str) -> Layout:
         """The kernel layout for ``combo`` (cached per combo)."""
         combo = Combo.parse(combo).value
-        if combo not in self._kernel_layouts:
-            if combo == "base":
+        if combo == "base":
+            if combo not in self._kernel_layouts:
                 self._kernel_layouts[combo] = baseline_layout(self.kernel.binary)
-            else:
-                self._kernel_layouts[combo] = self._staged(
-                    "layout", f"kernel:{combo}", f"klayout-{combo}.json",
-                    loader=lambda path: load_layout(path, self.kernel.binary),
-                    builder=lambda: self.kernel_optimizer.layout(combo),
-                    saver=save_layout,
-                )
-        return self._kernel_layouts[combo]
+            return self._kernel_layouts[combo]
+        runner = self.pipeline
+        key = f"layout:kernel:{combo}"
+        if key not in runner.graph:
+            runner.graph.add(Stage(
+                name="layout", detail=f"kernel:{combo}",
+                inputs=("profile",),
+                outputs=(ArtifactSpec(
+                    f"klayout-{combo}.json",
+                    lambda path: load_layout(path, self.kernel.binary),
+                    save_layout,
+                ),),
+                build=lambda _: self.kernel_optimizer.layout(combo),
+            ))
+        return runner.value(key)
 
     # -- profile sources -------------------------------------------------------------
 
@@ -432,14 +465,8 @@ class Experiment:
         needs no profiling run: cold-start consumers (``repro serve``)
         reach it without ever touching :attr:`profile`.
         """
-        if kernel not in self._static_profiles:
-            program = self.kernel if kernel else self.app
-            detail = "kernel" if kernel else "app"
-            with self.runlog.stage("staticpred", detail):
-                self._static_profiles[kernel] = synthesize_profile(
-                    program.binary
-                )
-        return self._static_profiles[kernel]
+        detail = "kernel" if kernel else "app"
+        return self.pipeline.value(f"staticpred:{detail}")
 
     def profile_for(self, source: str, *, kernel: bool = False) -> Profile:
         """The profile one source names: ``measured`` (the profiling
@@ -482,21 +509,28 @@ class Experiment:
         _check_source(source)
         if source == "measured":
             return self.layout(combo)
-        key = (source, combo)
-        if key not in self._source_layouts:
-            if invert_enabled():
+        if invert_enabled():
+            key = (source, combo)
+            if key not in self._source_layouts:
                 self._source_layouts[key] = (
                     self.optimizer_for(source).layout(combo)
                 )
-            else:
-                self._source_layouts[key] = self._staged(
-                    "layout", f"{source}:{combo}",
+            return self._source_layouts[key]
+        runner = self.pipeline
+        stage_key = f"layout:{source}:{combo}"
+        if stage_key not in runner.graph:
+            inputs = () if source == "static" else ("profile",)
+            runner.graph.add(Stage(
+                name="layout", detail=f"{source}:{combo}",
+                inputs=inputs + ("staticpred:app",),
+                outputs=(ArtifactSpec(
                     f"layout-{source}-{combo}.json",
-                    loader=lambda path: load_layout(path, self.app.binary),
-                    builder=lambda: self.optimizer_for(source).layout(combo),
-                    saver=save_layout,
-                )
-        return self._source_layouts[key]
+                    lambda path: load_layout(path, self.app.binary),
+                    save_layout,
+                ),),
+                build=lambda _: self.optimizer_for(source).layout(combo),
+            ))
+        return runner.value(stage_key)
 
     def kernel_layout_for(self, combo: str, source: str = "measured") -> Layout:
         """The kernel layout for one combo under one profile source."""
@@ -504,25 +538,30 @@ class Experiment:
         _check_source(source)
         if source == "measured" or combo == "base":
             return self.kernel_layout(combo)
-        key = (source, combo)
-        if key not in self._kernel_source_layouts:
-            if invert_enabled():
+        if invert_enabled():
+            key = (source, combo)
+            if key not in self._kernel_source_layouts:
                 self._kernel_source_layouts[key] = (
                     self.optimizer_for(source, kernel=True).layout(combo)
                 )
-            else:
-                self._kernel_source_layouts[key] = self._staged(
-                    "layout", f"kernel:{source}:{combo}",
+            return self._kernel_source_layouts[key]
+        runner = self.pipeline
+        stage_key = f"layout:kernel:{source}:{combo}"
+        if stage_key not in runner.graph:
+            inputs = () if source == "static" else ("profile",)
+            runner.graph.add(Stage(
+                name="layout", detail=f"kernel:{source}:{combo}",
+                inputs=inputs + ("staticpred:kernel",),
+                outputs=(ArtifactSpec(
                     f"klayout-{source}-{combo}.json",
-                    loader=lambda path: load_layout(
-                        path, self.kernel.binary
-                    ),
-                    builder=lambda: self.optimizer_for(
-                        source, kernel=True
-                    ).layout(combo),
-                    saver=save_layout,
-                )
-        return self._kernel_source_layouts[key]
+                    lambda path: load_layout(path, self.kernel.binary),
+                    save_layout,
+                ),),
+                build=lambda _: self.optimizer_for(
+                    source, kernel=True
+                ).layout(combo),
+            ))
+        return runner.value(stage_key)
 
     def address_map(
         self,
@@ -555,16 +594,7 @@ class Experiment:
     @property
     def trace(self) -> SystemTrace:
         """The measurement run (distinct request stream from profiling)."""
-        if self._trace is None:
-            self._trace = self._staged(
-                "trace", "", "trace.npz",
-                loader=load_trace,
-                builder=lambda: self._run_system(
-                    self.config.measure_transactions, 1
-                ),
-                saver=save_trace,
-            )
-        return self._trace
+        return self.pipeline.value("trace")
 
     # -- streams for the cache simulators ----------------------------------------------
 
@@ -626,39 +656,6 @@ class Experiment:
         return StreamSet(
             scope=scope, combo=combo, kernel_combo=kernel_combo,
             streams=tuple(spans), profile_source=profile_source,
-        )
-
-    # -- removed stream accessors ---------------------------------------------------
-    #
-    # The ``*_streams`` wrappers were deprecated (warning) for one
-    # release; the in-repo DEP001 scan is clean, so they now raise with
-    # the migration hint.  ``repro lint`` still flags external callers.
-
-    def _removed(self, old: str, new: str) -> None:
-        raise RemovedAPIError(
-            f"Experiment.{old}() was removed; use Experiment.{new} instead"
-        )
-
-    def app_streams(self, combo: str) -> List[Tuple[np.ndarray, np.ndarray]]:
-        """Removed: use ``streams(combo, scope="app")``."""
-        self._removed("app_streams", f'streams({combo!r}, scope="app")')
-
-    def kernel_streams(self, kernel_combo: str = "base") -> List[Tuple[np.ndarray, np.ndarray]]:
-        """Removed: use ``streams(scope="kernel", kernel_combo=...)``."""
-        self._removed(
-            "kernel_streams", f'streams(scope="kernel", kernel_combo={kernel_combo!r})'
-        )
-
-    def combined_streams(
-        self, combo: str, kernel_combo: str = "base"
-    ) -> List[Tuple[np.ndarray, np.ndarray]]:
-        """Removed: use ``streams(combo, scope="combined")``."""
-        self._removed("combined_streams", f'streams({combo!r}, scope="combined")')
-
-    def per_process_streams(self, combo: str):
-        """Removed: use ``streams(combo, scope="per-process")``."""
-        self._removed(
-            "per_process_streams", f'streams({combo!r}, scope="per-process")'
         )
 
 

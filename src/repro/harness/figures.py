@@ -22,7 +22,7 @@ from repro.analysis import (
 )
 from repro.cache import CacheGeometry, ICacheResult
 from repro.harness.experiment import Experiment
-from repro.harness.parallel import parallel_map
+from repro.pipeline import StreamHandoff, resilient_map
 from repro.sim import MemoryHierarchy, simulate, simulate_grid
 from repro.layout import PAPER_COMBOS
 from repro.timing import (
@@ -135,24 +135,18 @@ def fig03_execution_profile(exp: Experiment) -> Table:
 # cache geometries.  The Figure 4/5 direct-mapped grid goes through
 # repro.sim.simulate_grid (batched single-pass engine, shared-memory
 # stream buffers).  The LRU figures materialize streams in the parent
-# and publish them through a module global; the fork-based pool in
-# parallel_map lets workers inherit them without pickling
-# multi-megabyte arrays.  Cells are pure functions of (geometry,
-# streams), and parallel_map preserves input order, so --jobs N output
-# is bit-identical to serial.
-
-_CELL_STREAMS: Dict[str, Sequence[Tuple[np.ndarray, np.ndarray]]] = {}
-
-
-def _publish_streams(streams: Dict[str, Sequence]) -> None:
-    _CELL_STREAMS.clear()
-    _CELL_STREAMS.update(streams)
+# and publish them through repro.pipeline's StreamHandoff; the
+# fork-based pool in resilient_map lets workers inherit them without
+# pickling multi-megabyte arrays, and retries the fan-out with backoff
+# if a worker is killed.  Cells are pure functions of (geometry,
+# streams), and the map preserves input order, so --jobs N output is
+# bit-identical to serial.
 
 
 def _lru_cell(cell: Tuple[str, int, int, int]) -> int:
     combo, size, line, assoc = cell
     return simulate(
-        _CELL_STREAMS[combo],
+        StreamHandoff.get(combo),
         MemoryHierarchy.l1i_only(CacheGeometry(size, line, assoc)),
     ).misses
 
@@ -225,10 +219,10 @@ def fig06_associativity(exp: Experiment, jobs: Optional[int] = None) -> Table:
     """Miss rate vs associativity at fixed size/line (Figure 6)."""
     combos = ("base", "all")
     with exp.runlog.stage("sweep", "fig06"):
-        _publish_streams(
+        handoff = StreamHandoff(
             {combo: list(exp.streams(combo, scope="app")) for combo in combos}
         )
-        try:
+        with handoff:
             cells = [
                 (combo, size, 128, assoc)
                 for size in SWEEP_SIZES
@@ -236,10 +230,8 @@ def fig06_associativity(exp: Experiment, jobs: Optional[int] = None) -> Table:
                 for assoc in (1, 4)
             ]
             misses = dict(
-                zip(cells, parallel_map(_lru_cell, cells, jobs=_jobs(exp, jobs)))
+                zip(cells, resilient_map(_lru_cell, cells, jobs=_jobs(exp, jobs)))
             )
-        finally:
-            _publish_streams({})
     rows = []
     for size in SWEEP_SIZES:
         row = [size // 1024]
@@ -265,20 +257,18 @@ def fig07_ablation(
 ) -> Table:
     """Optimization-combination ablation at fixed geometry (Figure 7)."""
     with exp.runlog.stage("sweep", "fig07"):
-        _publish_streams(
+        handoff = StreamHandoff(
             {combo: list(exp.streams(combo, scope="app")) for combo in combos}
         )
-        try:
+        with handoff:
             cells = [
                 (combo, size, 128, 4)
                 for combo in combos
                 for size in SWEEP_SIZES
             ]
             misses = dict(
-                zip(cells, parallel_map(_lru_cell, cells, jobs=_jobs(exp, jobs)))
+                zip(cells, resilient_map(_lru_cell, cells, jobs=_jobs(exp, jobs)))
             )
-        finally:
-            _publish_streams({})
     rows = []
     for combo in combos:
         rows.append(

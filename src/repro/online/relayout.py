@@ -23,12 +23,13 @@ from typing import Optional, Tuple
 
 from repro import obs
 from repro.check import check_layout
-from repro.errors import LayoutError
-from repro.harness.runlog import CACHE_HIT, CACHE_MISS, CACHE_OFF, RunLog
+from repro.errors import LayoutError, StageGateError
+from repro.harness.runlog import CACHE_HIT, RunLog
 from repro.harness.store import ArtifactStore, load_layout, save_layout
 from repro.ir import AddressMap, Binary, Layout, assign_addresses
 from repro.layout import SpikeOptimizer
 from repro.online.drift import drifted_procedures
+from repro.pipeline import ArtifactSpec, PipelineRunner, Stage, StageGraph
 from repro.profiles.profile import Profile
 
 
@@ -95,24 +96,12 @@ class AdaptiveRelayout:
         """
         fingerprint = profile.fingerprint()
         name = f"online-layout-{self.combo}.json"
-        with self.runlog.stage("relayout", f"{self.combo}@{fingerprint[:8]}") as record:
-            cached = self._load(fingerprint, name)
-            if cached is not None and not self._gate_ok(cached):
-                obs.counter("online.relayout.rejected_cache").inc()
-                cached = None  # corrupt cache entry: rebuild from scratch
-            if cached is not None:
-                record.cache = CACHE_HIT
-                # The optimizer is rebuilt lazily: a cached layout needs
-                # no chaining until a later incremental rebuild asks.
-                optimizer = SpikeOptimizer(self.binary, profile)
-                return RelayoutResult(
-                    layout=cached,
-                    address_map=assign_addresses(self.binary, cached),
-                    optimizer=optimizer,
-                    rebuilt_procs=(),
-                    reused_chains=0,
-                    cache=CACHE_HIT,
-                )
+        # One single-stage graph per epoch: the layout artifact is keyed
+        # by the *profile* fingerprint, so each sampled profile gets its
+        # own runner namespace over the shared store and run log.
+        state: dict = {}
+
+        def build(_) -> Layout:
             optimizer = SpikeOptimizer(self.binary, profile)
             rebuilt: Tuple[str, ...] = ("*",)
             reused = 0
@@ -122,37 +111,63 @@ class AdaptiveRelayout:
                 )
                 reused = optimizer.reuse_chainings(previous, drifted)
                 rebuilt = tuple(drifted)
-            layout = optimizer.layout(self.combo)
-            gate = self._gate_report(layout) if self.verify else None
-            if gate is not None and not gate.ok:
-                obs.counter("online.relayout.rejected").inc()
-                if fallback is not None:
-                    record.cache = CACHE_OFF
-                    return fallback
-                shown = "\n".join(d.render() for d in gate.errors[:5])
-                raise LayoutError(
-                    f"online relayout {self.combo!r} failed integrity "
-                    f"checks ({len(gate.errors)} error(s)):\n{shown}"
-                )
-            record.cache = CACHE_OFF if self.store is None else CACHE_MISS
-            record.bytes = self._save(fingerprint, name, layout)
-            obs.counter("online.rebuilds").inc()
-            obs.counter("online.reused_chains").inc(reused)
+            state.update(optimizer=optimizer, rebuilt=rebuilt, reused=reused)
+            return optimizer.layout(self.combo)
+
+        def gate(layout: Layout) -> bool:
+            if not self.verify:
+                return True
+            state["report"] = self._gate_report(layout)
+            return state["report"].ok
+
+        runner = PipelineRunner(
+            StageGraph([Stage(
+                name="relayout", detail=f"{self.combo}@{fingerprint[:8]}",
+                outputs=(ArtifactSpec(name, load_layout, save_layout),),
+                build=build, gate=gate,
+            )]),
+            store=self.store,
+            fingerprint=fingerprint,
+            runlog=self.runlog,
+            # A corrupt cache entry degrades to a rebuild from scratch.
+            on_cache_reject=lambda _stage, _value: obs.counter(
+                "online.relayout.rejected_cache"
+            ).inc(),
+        )
+        try:
+            artifact = runner.artifact(f"relayout:{self.combo}@{fingerprint[:8]}")
+        except StageGateError:
+            obs.counter("online.relayout.rejected").inc()
+            if fallback is not None:
+                return fallback
+            report = state["report"]
+            shown = "\n".join(d.render() for d in report.errors[:5])
+            raise LayoutError(
+                f"online relayout {self.combo!r} failed integrity "
+                f"checks ({len(report.errors)} error(s)):\n{shown}"
+            ) from None
+        layout = artifact.value
+        if artifact.hit:
+            # The optimizer is rebuilt lazily: a cached layout needs
+            # no chaining until a later incremental rebuild asks.
             return RelayoutResult(
                 layout=layout,
                 address_map=assign_addresses(self.binary, layout),
-                optimizer=optimizer,
-                rebuilt_procs=rebuilt,
-                reused_chains=reused,
-                cache=record.cache,
+                optimizer=SpikeOptimizer(self.binary, profile),
+                rebuilt_procs=(),
+                reused_chains=0,
+                cache=CACHE_HIT,
             )
-
-    def _gate_ok(self, layout: Layout) -> bool:
-        """True when the layout passes the integrity gate (or the
-        gate is off)."""
-        if not self.verify:
-            return True
-        return self._gate_report(layout).ok
+        obs.counter("online.rebuilds").inc()
+        obs.counter("online.reused_chains").inc(state["reused"])
+        return RelayoutResult(
+            layout=layout,
+            address_map=assign_addresses(self.binary, layout),
+            optimizer=state["optimizer"],
+            rebuilt_procs=state["rebuilt"],
+            reused_chains=state["reused"],
+            cache=artifact.cache,
+        )
 
     def _gate_report(self, layout: Layout):
         """Run the integrity gate.  Structure checks come first on
@@ -169,22 +184,3 @@ class AdaptiveRelayout:
                 )
         return report
 
-    def _load(self, fingerprint: str, name: str) -> Optional[Layout]:
-        if self.store is None:
-            return None
-        path = self.store.path(fingerprint, name)
-        if not path.is_file():
-            return None
-        try:
-            # No eager validation: a corrupt entry must reach the gate
-            # (which counts the rejection), not vanish as a load error.
-            return load_layout(path)
-        except Exception:  # unreadable cache entries degrade to a rebuild
-            return None
-
-    def _save(self, fingerprint: str, name: str, layout: Layout) -> int:
-        if self.store is None:
-            return 0
-        # store.save is atomic (temp + os.replace) and absorbs OSError
-        # (read-only cache dir etc.) by returning 0.
-        return self.store.save(fingerprint, name, layout, save_layout)

@@ -18,8 +18,9 @@ entry silently degrades to a recompute, never a wrong result.
 profiling run, layouts, and the measurement trace land in the store
 (and in the in-process memo, which forked workers inherit).  Cells
 that differ only in hierarchy/combo/engine then share one pipeline;
-the fan-out via :func:`~repro.harness.parallel.parallel_map` spends
-its time purely on cache simulation.
+the fan-out via :func:`~repro.pipeline.fanout.resilient_map` spends
+its time purely on cache simulation (retrying with backoff if a
+worker process is killed mid-sweep).
 
 **Gated results.**  Each cell's optimized layout runs through the
 :mod:`repro.check` families (``--check`` semantics are always on
@@ -42,7 +43,7 @@ from repro import obs
 from repro.errors import ScenarioError
 from repro.harness.experiment import Experiment
 from repro.harness.figures import Table
-from repro.harness.parallel import parallel_map
+from repro.pipeline import resilient_map
 from repro.harness.store import ArtifactStore
 from repro.layout import Combo
 from repro.scenarios.spec import ScenarioSpec, _reject_duplicates
@@ -153,7 +154,7 @@ def _simulate_misses(spec: ScenarioSpec, streams) -> int:
 def _run_cell(task: Tuple[Dict, Optional[str], bool]) -> Dict:
     """Worker: simulate one cell and persist it before returning.
 
-    Module-level (picklable) for :func:`parallel_map`.  Never raises:
+    Module-level (picklable) for :func:`resilient_map`.  Never raises:
     any failure comes back as a ``failed`` cell so one bad cell cannot
     abort the sweep.
     """
@@ -441,7 +442,7 @@ def run_matrix(
         tasks = [(spec.to_dict(), store_root, verify) for spec in pending]
         computed = {
             cell["name"]: CellResult.from_dict(cell)
-            for cell in parallel_map(_run_cell, tasks, jobs=jobs)
+            for cell in resilient_map(_run_cell, tasks, jobs=jobs)
         }
 
         result = MatrixResult(

@@ -45,6 +45,7 @@ from repro.harness.store import (
 )
 from repro.ir import Binary, assign_addresses
 from repro.layout import Combo, SpikeOptimizer
+from repro.pipeline import PipelineRunner, Stage, StageGraph
 from repro.serve.cache import DEFAULT_MEMORY_ENTRIES, LayoutCache
 from repro.serve.protocol import (
     ErrorResponse,
@@ -76,6 +77,27 @@ def _set_worker_binary(binary: Binary) -> None:
     _WORKER_BINARY = binary
 
 
+def _request_runner(binary: Binary, source: str, combo: str, profile_builder) -> PipelineRunner:
+    """The per-request stage graph a worker executes: decode/synthesize
+    the profile, then optimize.  Runs with no store — coalescing and
+    the tiered :class:`~repro.serve.cache.LayoutCache` own persistence
+    at the server layer — but gets the pipeline's tracing (``stage.*``
+    spans) for free."""
+    graph = StageGraph()
+    graph.add(Stage(
+        name="profile", detail=source,
+        build=lambda _: profile_builder(),
+    ))
+    graph.add(Stage(
+        name="optimize", detail=combo,
+        inputs=(f"profile:{source}",),
+        build=lambda r: SpikeOptimizer(
+            binary, r.value(f"profile:{source}")
+        ).layout(combo),
+    ))
+    return PipelineRunner(graph)
+
+
 def _optimize_task(submit: ProfileSubmit, combo: str, enqueued_at: float) -> Dict:
     """One optimization, executed inside a worker.
 
@@ -87,8 +109,10 @@ def _optimize_task(submit: ProfileSubmit, combo: str, enqueued_at: float) -> Dic
     binary = _WORKER_BINARY
     if binary is None:
         raise ServeError("optimization worker has no binary configured")
-    profile = submit.to_profile(binary)
-    layout = SpikeOptimizer(binary, profile).layout(combo)
+    runner = _request_runner(
+        binary, "submitted", combo, lambda: submit.to_profile(binary)
+    )
+    layout = runner.value(f"optimize:{combo}")
     return {
         "layout": layout_to_dict(layout),
         "queue_wait_ms": max(0.0, (started - enqueued_at) * 1000.0),
@@ -101,9 +125,10 @@ def _static_task(combo: str) -> Dict:
     binary = _WORKER_BINARY
     if binary is None:
         raise ServeError("optimization worker has no binary configured")
-    profile = synthesize_profile(binary)
-    layout = SpikeOptimizer(binary, profile).layout(combo)
-    return layout_to_dict(layout)
+    runner = _request_runner(
+        binary, "static", combo, lambda: synthesize_profile(binary)
+    )
+    return layout_to_dict(runner.value(f"optimize:{combo}"))
 
 
 @dataclass

@@ -11,7 +11,6 @@ from repro.check import (
     CheckContext,
     CheckReport,
     CheckRunner,
-    DEPRECATED_APIS,
     Diagnostic,
     Severity,
 )
@@ -122,10 +121,15 @@ class TestCatalogueIntegrity:
         unknown = documented - set(CODES)
         assert not unknown, f"docs/CHECKS.md documents unregistered codes: {unknown}"
 
-    def test_deprecated_registry_matches_experiment_shims(self):
+    def test_streams_shims_fully_deleted(self):
+        # The DEP001 ladder completed: neither the Experiment shims nor
+        # their scan registry exist any more.
+        import repro.check as check
         from repro.harness.experiment import Experiment
 
-        for name in DEPRECATED_APIS:
-            assert hasattr(Experiment, name), (
-                f"DEPRECATED_APIS lists {name!r} but Experiment has no such shim"
-            )
+        assert not hasattr(check, "DEPRECATED_APIS")
+        for name in (
+            "app_streams", "kernel_streams",
+            "combined_streams", "per_process_streams",
+        ):
+            assert not hasattr(Experiment, name)

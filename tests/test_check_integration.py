@@ -128,7 +128,10 @@ class TestRelayoutGate:
 
 
 class TestDeprecationScan:
-    def test_finds_removed_api_callers(self, tmp_path):
+    def test_removed_streams_accessors_no_longer_scanned(self, tmp_path):
+        # DEP001 completed the deprecation ladder (warn -> raise ->
+        # deleted); callers now fail with AttributeError at runtime and
+        # the static scan no longer carries a row for them.
         caller = tmp_path / "caller.py"
         caller.write_text(textwrap.dedent("""
             def run(exp):
@@ -136,11 +139,7 @@ class TestDeprecationScan:
                 return exp.streams("all", scope="kernel")
         """))
         findings = scan_deprecated_calls([str(tmp_path)])
-        assert len(findings) == 1
-        assert findings[0].code == "DEP001"
-        assert findings[0].severity.value == "error"
-        assert "app_streams" in findings[0].message
-        assert "caller.py" in findings[0].target
+        assert findings == []
 
     def test_finds_deprecated_simulator_callers(self, tmp_path):
         caller = tmp_path / "sim_caller.py"
@@ -163,10 +162,11 @@ class TestDeprecationScan:
         assert "repro.sim" in hints
 
     def test_skips_shim_definitions(self, tmp_path):
-        shim_dir = tmp_path / "harness"
-        shim_dir.mkdir()
-        (shim_dir / "experiment.py").write_text(
-            "def app_streams(self, combo):\n    return self.app_streams\n"
+        shim_dir = tmp_path / "repro" / "cache"
+        shim_dir.mkdir(parents=True)
+        (shim_dir / "wrappers.py").write_text(
+            "def simulate_lru(streams, geometry):\n"
+            "    return simulate_lru\n"
         )
         assert scan_deprecated_calls([str(tmp_path)]) == []
 

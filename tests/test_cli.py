@@ -284,15 +284,13 @@ class TestLint:
         caller = tmp_path / "uses_old_api.py"
         caller.write_text(
             "def f(exp, geometry):\n"
-            "    simulate_lru(exp.app_streams('all'), geometry)\n"
+            "    simulate_lru(exp.streams('all', scope='app'), geometry)\n"
         )
         code, text = run_cli("lint", "--combo", "base", "--scan", str(caller))
         assert code == 0  # non-strict runs always exit 0
-        assert "DEP001" in text
-        assert "app_streams" in text
         assert "DEP002" in text
         assert "simulate_lru" in text
-        # DEP001 now marks a *removed* API: strict mode fails on it.
+        # DEP002 is error-level: strict mode fails on it.
         code, _ = run_cli(
             "lint", "--combo", "base", "--strict", "--scan", str(caller)
         )
@@ -318,10 +316,13 @@ class TestLintScanOnly:
 
     def test_scan_only_without_strict_exits_zero(self, tmp_path):
         caller = tmp_path / "caller.py"
-        caller.write_text("def f(exp):\n    return exp.app_streams('all')\n")
+        caller.write_text(
+            "def f(streams, geometry):\n"
+            "    return simulate_lru(streams, geometry)\n"
+        )
         code, text = run_cli("lint", "--scan", str(caller))
         assert code == 0
-        assert "DEP001" in text
+        assert "DEP002" in text
 
 
 class TestProfileSourceFlags:

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.cache import CacheGeometry
-from repro.errors import RemovedAPIError
 from repro.harness import figures, quick_experiment
 from repro.sim import classic
 
@@ -72,19 +71,14 @@ class TestStreamsApi:
         assert len(streams) == exp.config.system.cpus
         assert streams.instructions > 0
 
-    def test_removed_wrappers_raise_with_migration_hint(self, exp):
-        with pytest.raises(RemovedAPIError, match="streams\\('base', scope=\"app\"\\)"):
-            exp.app_streams("base")
-        with pytest.raises(RemovedAPIError, match="scope=\"kernel\""):
-            exp.kernel_streams()
-        with pytest.raises(RemovedAPIError, match="scope=\"combined\""):
-            exp.combined_streams("base")
-        with pytest.raises(RemovedAPIError, match="scope=\"per-process\""):
-            exp.per_process_streams("base")
-
-    def test_removed_wrappers_name_the_old_entry_point(self, exp):
-        with pytest.raises(RemovedAPIError, match="Experiment.app_streams"):
-            exp.app_streams("all")
+    def test_removed_wrappers_are_fully_deleted(self, exp):
+        # The *_streams shims went warning -> RemovedAPIError -> gone;
+        # the attribute itself no longer exists.
+        for legacy in (
+            "app_streams", "kernel_streams",
+            "combined_streams", "per_process_streams",
+        ):
+            assert not hasattr(exp, legacy)
 
     def test_combined_scope_includes_kernel(self, exp):
         from repro.osmodel import KERNEL_BASE

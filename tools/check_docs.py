@@ -37,6 +37,7 @@ ROOT = pathlib.Path(__file__).resolve().parent.parent
 AUDITED_PACKAGES = (
     "repro.obs",
     "repro.online",
+    "repro.pipeline",
     "repro.harness",
     "repro.check",
     "repro.sim",
